@@ -1,0 +1,143 @@
+package cobra
+
+// Benchmark harness: one testing.B benchmark per experiment in DESIGN.md
+// §4 (E1–E14 and the three ablations). Each benchmark regenerates its
+// experiment table at Quick scale per iteration, so `go test -bench .`
+// exercises the full reproduction pipeline; `cmd/experiments -scale full`
+// produces the EXPERIMENTS.md numbers. Micro-benchmarks for the hot
+// simulation loops follow at the bottom.
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/bips"
+	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/experiments"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/sim"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Params) (*sim.Table, error)) {
+	b.Helper()
+	p := experiments.Params{Seed: 1, Scale: experiments.Quick}
+	for i := 0; i < b.N; i++ {
+		tb, err := run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1GeneralGraphs(b *testing.B) { benchExperiment(b, experiments.E1GeneralGraphs) }
+func BenchmarkE2RegularGraphs(b *testing.B) { benchExperiment(b, experiments.E2RegularGraphs) }
+func BenchmarkE3Hypercube(b *testing.B)     { benchExperiment(b, experiments.E3Hypercube) }
+func BenchmarkE4Duality(b *testing.B)       { benchExperiment(b, experiments.E4Duality) }
+func BenchmarkE5BIPS(b *testing.B)          { benchExperiment(b, experiments.E5BIPS) }
+func BenchmarkE6Fractional(b *testing.B)    { benchExperiment(b, experiments.E6Fractional) }
+func BenchmarkE7Expanders(b *testing.B)     { benchExperiment(b, experiments.E7Expanders) }
+func BenchmarkE8Grids(b *testing.B)         { benchExperiment(b, experiments.E8Grids) }
+func BenchmarkE9Growth(b *testing.B)        { benchExperiment(b, experiments.E9Growth) }
+func BenchmarkE10Martingale(b *testing.B)   { benchExperiment(b, experiments.E10Martingale) }
+func BenchmarkE11Candidates(b *testing.B)   { benchExperiment(b, experiments.E11Candidates) }
+func BenchmarkE12Baselines(b *testing.B)    { benchExperiment(b, experiments.E12Baselines) }
+func BenchmarkE13Conjecture(b *testing.B)   { benchExperiment(b, experiments.E13Conjecture) }
+func BenchmarkAblationReplacement(b *testing.B) {
+	benchExperiment(b, experiments.AblationReplacement)
+}
+func BenchmarkAblationLazy(b *testing.B) { benchExperiment(b, experiments.AblationLazy) }
+func BenchmarkAblationParallelRound(b *testing.B) {
+	benchExperiment(b, experiments.AblationParallel)
+}
+
+// --- Hot-loop micro-benchmarks ---
+
+// BenchmarkCOBRARound measures one fully-active COBRA round (the
+// worst-case per-round cost: every vertex pushes twice).
+func BenchmarkCOBRARound(b *testing.B) {
+	g := graph.Hypercube(12) // n = 4096, r = 12
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	p, err := core.New(g, core.Config{Branch: 2, Lazy: true}, all, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkBIPSRound measures one BIPS round (every vertex samples twice
+// regardless of infection state — the paper's process is Θ(n·b) per
+// round by construction).
+func BenchmarkBIPSRound(b *testing.B) {
+	g := graph.Hypercube(12)
+	p, err := bips.New(g, bips.Config{Branch: 2, Lazy: true}, 0, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkCoverExpander measures an end-to-end COBRA cover on a random
+// cubic expander (the Theorem 1.2 best case).
+func BenchmarkCoverExpander(b *testing.B) {
+	g, err := graph.RandomRegular(1024, 3, xrand.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CoverTime(g, core.Config{Branch: 2}, 0, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInfectionExpander measures an end-to-end BIPS infection on the
+// same family (Theorem 1.5 best case).
+func BenchmarkInfectionExpander(b *testing.B) {
+	g, err := graph.RandomRegular(1024, 3, xrand.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bips.InfectionTime(g, bips.Config{Branch: 2}, 0, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialisedBIPSRound measures the serialised (per-step) round
+// engine used by the martingale experiments, to quantify its overhead
+// over the plain round.
+func BenchmarkSerialisedBIPSRound(b *testing.B) {
+	g := graph.Complete(512)
+	p, err := bips.New(g, bips.Config{Branch: 2}, 0, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SerialRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14Concentration(b *testing.B) { benchExperiment(b, experiments.E14Concentration) }

@@ -1,0 +1,162 @@
+// Command cobrasim runs one of the repository's processes (COBRA, BIPS,
+// random walk, multiple walks, push gossip) on a graph family and prints
+// summary statistics of the cover/infection time over repeated trials.
+//
+// Usage examples:
+//
+//	cobrasim -graph rreg:1024:3 -process cobra -trials 50
+//	cobrasim -graph hypercube:10 -process cobra -lazy -trials 100
+//	cobrasim -graph complete:4096 -process bips -b 1 -rho 0.5
+//	cobrasim -graph lollipop:600:400 -process rw -trials 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/repro/cobra/internal/bips"
+	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/gossip"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/graphspec"
+	"github.com/repro/cobra/internal/plot"
+	"github.com/repro/cobra/internal/sim"
+	"github.com/repro/cobra/internal/stats"
+	"github.com/repro/cobra/internal/walk"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func main() {
+	var (
+		graphFlag = flag.String("graph", "rreg:256:3", "graph spec (family:args, see internal/graphspec)")
+		process   = flag.String("process", "cobra", "process: cobra | bips | rw | multirw | push")
+		branch    = flag.Int("b", 2, "integer branching factor b")
+		rho       = flag.Float64("rho", 0, "fractional extra branch probability (b = branch+rho)")
+		lazy      = flag.Bool("lazy", false, "lazy selections (needed on bipartite graphs)")
+		start     = flag.Int("start", 0, "start vertex (COBRA/walks) or source (BIPS)")
+		walkers   = flag.Int("k", 16, "walker count for -process multirw")
+		trials    = flag.Int("trials", 25, "number of independent trials")
+		seed      = flag.Uint64("seed", 1, "master seed (full run is deterministic in it)")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		trace     = flag.Bool("trace", false, "plot one run's per-round set sizes (cobra/bips only)")
+		csvPath   = flag.String("csv", "", "with -trace: also write the per-round series to this CSV file")
+	)
+	flag.Parse()
+
+	g, err := graphspec.Parse(*graphFlag, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %s (n=%d m=%d dmax=%d bipartite=%v)\n",
+		g.Name(), g.N(), g.M(), g.MaxDegree(), g.IsBipartite())
+
+	if *trace {
+		if err := runTrace(g, *process, *branch, *rho, *lazy, *start, *seed, *csvPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	runner := sim.Runner{Seed: *seed, Workers: *workers}
+	var fn sim.TrialFunc
+	switch *process {
+	case "cobra":
+		cfg := core.Config{Branch: *branch, Rho: *rho, Lazy: *lazy}
+		fn = func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := core.CoverTime(g, cfg, *start, rng)
+			return float64(t), err
+		}
+	case "bips":
+		cfg := bips.Config{Branch: *branch, Rho: *rho, Lazy: *lazy}
+		fn = func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := bips.InfectionTime(g, cfg, *start, rng)
+			return float64(t), err
+		}
+	case "rw":
+		fn = func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := walk.CoverTime(g, *start, *lazy, rng)
+			return float64(t), err
+		}
+	case "multirw":
+		fn = func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := walk.MultiCoverTime(g, *walkers, *start, rng)
+			return float64(t), err
+		}
+	case "push":
+		fn = func(trial int, rng *xrand.RNG) (float64, error) {
+			res, err := gossip.Push(g, *start, rng)
+			return float64(res.Rounds), err
+		}
+	default:
+		fatal(fmt.Errorf("unknown process %q", *process))
+	}
+
+	xs, err := runner.Run(*trials, fn)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		fatal(err)
+	}
+	unit := "rounds"
+	if *process == "rw" {
+		unit = "steps"
+	}
+	fmt.Printf("%s %s over %d trials:\n", *process, unit, s.N)
+	fmt.Printf("  mean   %.2f  (95%% CI %.2f..%.2f)\n", s.Mean, s.CI95Lo, s.CI95Hi)
+	fmt.Printf("  median %.1f  q25 %.1f  q75 %.1f\n", s.Median, s.Q25, s.Q75)
+	fmt.Printf("  min    %.0f  max %.0f  std %.2f\n", s.Min, s.Max, s.Std)
+	fmt.Printf("  lower bound max{log2 n, Diam} = %d\n", g.CoverTimeLowerBound())
+}
+
+// runTrace runs a single traced COBRA or BIPS run and renders the
+// per-round set-size curve as an ASCII chart (plus optional CSV).
+func runTrace(g *graph.Graph, process string, branch int, rho float64, lazy bool, start int, seed uint64, csvPath string) error {
+	var series []float64
+	var label string
+	switch process {
+	case "cobra":
+		tr, err := core.Trace(g, core.Config{Branch: branch, Rho: rho, Lazy: lazy}, start, xrand.New(seed))
+		if err != nil {
+			return err
+		}
+		series = sim.IntSeries(tr.CoveredSize)
+		label = fmt.Sprintf("COBRA covered vertices per round (cover at %d)", tr.CoverRound)
+	case "bips":
+		tr, err := bips.Trace(g, bips.Config{Branch: branch, Rho: rho, Lazy: lazy}, start, xrand.New(seed))
+		if err != nil {
+			return err
+		}
+		series = sim.IntSeries(tr.InfectedSize)
+		label = fmt.Sprintf("BIPS infected vertices per round (complete at %d)", tr.CompleteRound)
+	default:
+		return fmt.Errorf("-trace supports cobra and bips, not %q", process)
+	}
+	if err := plot.Line(os.Stdout, label, series, 72, 14); err != nil {
+		return err
+	}
+	fmt.Printf("sparkline: %s\n", plot.Sparkline(series))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rounds := make([]float64, len(series))
+		for i := range rounds {
+			rounds[i] = float64(i)
+		}
+		if err := sim.WriteSeriesCSV(f, []string{"round", "size"}, rounds, series); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobrasim:", err)
+	os.Exit(1)
+}

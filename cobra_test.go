@@ -1,0 +1,172 @@
+package cobra
+
+import (
+	"math"
+	"testing"
+)
+
+// Facade-level tests: the public API wires the internal packages together
+// correctly and behaves as documented end to end.
+
+func TestFacadeCoverTime(t *testing.T) {
+	g := Complete(128)
+	rounds, err := CoverTime(g, DefaultConfig(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 4 || rounds > 80 {
+		t.Fatalf("K128 cover %d implausible", rounds)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if Complete(5).M() != 10 {
+		t.Fatal("Complete wrong")
+	}
+	if Cycle(6).N() != 6 || Path(6).M() != 5 || Star(6).MaxDegree() != 5 {
+		t.Fatal("basic families wrong")
+	}
+	if Hypercube(4).N() != 16 || Grid(3, 3).N() != 9 || Torus(3, 3).M() != 18 {
+		t.Fatal("lattice families wrong")
+	}
+	if BinaryTree(7).M() != 6 || Lollipop(3, 2).N() != 5 || Barbell(3, 1).N() != 7 {
+		t.Fatal("compound families wrong")
+	}
+	if CompleteBipartite(2, 3).M() != 6 || Petersen().N() != 10 {
+		t.Fatal("bipartite/petersen wrong")
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build("custom")
+	if err != nil || g.M() != 2 {
+		t.Fatal("builder wrong")
+	}
+}
+
+func TestFacadeRandomGenerators(t *testing.T) {
+	if _, err := ErdosRenyi(100, 0.1, 3); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RandomRegular(60, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg, r := rr.IsRegular(); !reg || r != 4 {
+		t.Fatal("RandomRegular wrong")
+	}
+	tr, err := RandomTree(20, 7)
+	if err != nil || tr.M() != 19 {
+		t.Fatal("RandomTree wrong")
+	}
+}
+
+func TestFacadeProcessStepwise(t *testing.T) {
+	g := Cycle(12)
+	p, err := NewProcess(g, DefaultConfig(), []int{0}, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	if p.Round() != 1 {
+		t.Fatal("step did not advance")
+	}
+	e, err := NewEpidemic(g, DefaultConfig(), 0, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	if !e.Infected().Contains(0) {
+		t.Fatal("epidemic lost source")
+	}
+}
+
+func TestFacadeInfectionTime(t *testing.T) {
+	g := Complete(64)
+	tm, err := InfectionTime(g, DefaultConfig(), 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 3 || tm > 60 {
+		t.Fatalf("K64 infection %d implausible", tm)
+	}
+}
+
+func TestFacadeDuality(t *testing.T) {
+	g := Petersen()
+	for seed := uint64(0); seed < 50; seed++ {
+		hit, meet, err := CheckDuality(g, DefaultConfig(), []int{0}, 7, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != meet {
+			t.Fatalf("duality violated at seed %d", seed)
+		}
+	}
+}
+
+func TestFacadeSpectral(t *testing.T) {
+	lam, err := SecondEigenvalue(Complete(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-0.125) > 1e-5 {
+		t.Fatalf("K9 λ = %v", lam)
+	}
+	gap, err := SpectralGap(Complete(9))
+	if err != nil || math.Abs(gap-0.875) > 1e-5 {
+		t.Fatalf("K9 gap = %v err %v", gap, err)
+	}
+	lgap, err := LazySpectralGap(Hypercube(4))
+	if err != nil || math.Abs(lgap-0.25) > 1e-4 {
+		t.Fatalf("Q4 lazy gap = %v err %v", lgap, err)
+	}
+	phi, err := Conductance(Cycle(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi < 0.12 || phi > 0.3 { // exact is 2/16 = 0.125
+		t.Fatalf("C16 conductance estimate %v", phi)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := Complete(32)
+	steps, err := RandomWalkCover(g, 0, 1)
+	if err != nil || steps < 31 {
+		t.Fatalf("walk cover %d err %v", steps, err)
+	}
+	rounds, err := MultiWalkCover(g, 4, 0, 2)
+	if err != nil || rounds < 1 {
+		t.Fatalf("multiwalk %d err %v", rounds, err)
+	}
+	res, err := PushBroadcast(g, 0, 3)
+	if err != nil || res.Rounds < int(math.Log2(32)) {
+		t.Fatalf("push %+v err %v", res, err)
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	g := Complete(32)
+	ct, err := TraceCover(g, DefaultConfig(), 0, 4)
+	if err != nil || ct.CoverRound < 0 {
+		t.Fatalf("cover trace %v err %v", ct, err)
+	}
+	it, err := TraceInfection(g, DefaultConfig(), 0, 5)
+	if err != nil || it.CompleteRound < 0 {
+		t.Fatalf("infection trace %v err %v", it, err)
+	}
+}
+
+func TestFacadeConfigVariants(t *testing.T) {
+	g := Complete(64)
+	if _, err := CoverTime(g, Config{Branch: 1, Rho: 0.5}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoverTime(CompleteBipartite(5, 5), Config{Branch: 2, Lazy: true}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoverTime(g, Config{Branch: 0}, 0, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

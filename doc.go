@@ -1,0 +1,52 @@
+// Package cobra is a library for simulating and analysing the
+// coalescing-branching random walk (COBRA) and its dual epidemic process
+// BIPS on undirected graphs, reproducing
+//
+//	Cooper, Radzik, Rivera — "Improved Cover Time Bounds for the
+//	Coalescing-Branching Random Walk on Graphs", SPAA 2017.
+//
+// # The processes
+//
+// COBRA spreads one item of information in synchronous rounds: every
+// vertex informed in the previous round pushes the item to b neighbours
+// chosen uniformly at random with replacement; simultaneous arrivals
+// coalesce. With b = 1 it degenerates to the simple random walk; the
+// paper's case of interest is b = 2, where the cover time drops from the
+// walk's Ω(n log n) to O(m + dmax² log n) on any connected graph and to
+// O((r/(1−λ) + r²) log n) on r-regular graphs with eigenvalue gap 1−λ.
+//
+// BIPS (Biased Infection with Persistent Source) is the epidemic dual:
+// every vertex re-samples its infected state each round by contacting b
+// random neighbours, and one persistent source stays infected forever.
+// Theorem 1.3 of the paper links them exactly:
+//
+//	P(COBRA from C misses v through round T) =
+//	P(BIPS from source v infects no vertex of C at round T).
+//
+// # What the library provides
+//
+//   - Seeded, reproducible simulation of COBRA (integer, fractional
+//     b = 1+ρ and lazy variants), BIPS (same variants plus the serialised
+//     per-step view used by the paper's martingale analysis), the simple
+//     and multiple random-walk baselines, and push gossip.
+//   - Graph generators for the families in the paper's theorems and
+//     examples (complete, cycles, paths, grids, tori, hypercubes, trees,
+//     lollipops, barbells, random regular, Erdős–Rényi, ...), with exact
+//     structural and spectral properties (diameter, bipartiteness, second
+//     eigenvalue, conductance).
+//   - A pathwise checker for the COBRA–BIPS duality and statistics
+//     helpers for scaling-shape analysis.
+//
+// Everything in this package is a thin facade over the internal
+// implementation packages; the facade is the supported API surface.
+//
+// # Quick start
+//
+//	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7
+//	if err != nil { ... }
+//	rounds, err := cobra.CoverTime(g, cobra.DefaultConfig(), 0, 42)
+//	fmt.Printf("covered %d vertices in %d rounds\n", g.N(), rounds)
+//
+// See examples/ for runnable scenarios and cmd/experiments for the
+// harness that regenerates every experiment table in EXPERIMENTS.md.
+package cobra

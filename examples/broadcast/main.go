@@ -1,0 +1,104 @@
+// Broadcast: the paper's motivating scenario — spreading one item of
+// information through a communication network quickly while keeping the
+// per-node, per-round transmission budget fixed, and without nodes having
+// to stay active after forwarding.
+//
+// The example compares three protocols on a 4-regular random network:
+//
+//   - COBRA (b = 2): each node that received the item last round forwards
+//     it to 2 random neighbours, then goes quiet until it receives again.
+//   - Push gossip: every informed node forwards to 1 random neighbour
+//     EVERY round, forever (fast, but total message cost keeps growing).
+//   - Simple random walk (COBRA with b = 1): one token wanders (cheapest
+//     per round, hopelessly slow to cover).
+//
+// Reported: rounds to reach all nodes, total messages, and the peak
+// per-round message count — the paper's "limited number of transmissions
+// per vertex per round" claim in numbers.
+//
+// Run with: go run ./examples/broadcast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cobra "github.com/repro/cobra"
+)
+
+const (
+	nodes  = 2048
+	degree = 4
+	seed   = 11
+	trials = 20
+)
+
+func main() {
+	g, err := cobra.RandomRegular(nodes, degree, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d-regular, diameter >= %d\n\n",
+		g.N(), degree, g.DiameterApprox())
+
+	// COBRA b=2: measure rounds + messages + peak active set via a
+	// stepwise process so we can watch the per-round budget.
+	var cobraRounds, cobraMsgs, cobraPeak, cobraCoal float64
+	for k := 0; k < trials; k++ {
+		p, err := cobra.NewProcess(g, cobra.DefaultConfig(), []int{0}, cobra.NewRNG(uint64(k)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := 0
+		for !p.Complete() {
+			if a := p.Current().Count(); a > peak {
+				peak = a
+			}
+			p.Step()
+		}
+		cobraRounds += float64(p.Round())
+		cobraMsgs += float64(p.Transmissions())
+		cobraPeak += float64(peak)
+		cobraCoal += float64(p.Coalesced())
+	}
+	cobraRounds /= trials
+	cobraMsgs /= trials
+	cobraPeak /= trials
+	cobraCoal /= trials
+
+	// Push gossip.
+	var pushRounds, pushMsgs float64
+	for k := 0; k < trials; k++ {
+		res, err := cobra.PushBroadcast(g, 0, uint64(1000+k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pushRounds += float64(res.Rounds)
+		pushMsgs += float64(res.Messages)
+	}
+	pushRounds /= trials
+	pushMsgs /= trials
+
+	// Simple random walk (b = 1): steps == messages.
+	var rwSteps float64
+	for k := 0; k < trials; k++ {
+		steps, err := cobra.RandomWalkCover(g, 0, uint64(2000+k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rwSteps += float64(steps)
+	}
+	rwSteps /= trials
+
+	fmt.Printf("%-22s %12s %14s %22s\n", "protocol", "rounds", "messages", "peak msgs/round")
+	fmt.Printf("%-22s %12.1f %14.0f %22.1f\n", "COBRA b=2", cobraRounds, cobraMsgs, 2*cobraPeak)
+	fmt.Printf("%-22s %12.1f %14.0f %22.0f\n", "push gossip", pushRounds, pushMsgs, float64(g.N()))
+	fmt.Printf("%-22s %12.0f %14.0f %22d\n", "random walk (b=1)", rwSteps, rwSteps, 1)
+
+	fmt.Printf("\nCOBRA coalescence: %.0f of %.0f transmissions (%.1f%%) landed on a node\n",
+		cobraCoal, cobraMsgs, 100*cobraCoal/cobraMsgs)
+	fmt.Println("already receiving that round — the \"CO\" in COBRA, wasted by design to")
+	fmt.Println("keep the per-node budget at b messages.")
+	fmt.Println("\nreading: COBRA needs push-like round counts at walk-like per-round cost;")
+	fmt.Println("push keeps all n nodes transmitting every round, the walk crawls.")
+}

@@ -1,0 +1,61 @@
+// Epidemic: BIPS as a discrete SIS epidemic with a persistently infected
+// host, the interpretation the paper offers for its dual process
+// ("certain viruses exhibit the property that a particular host can
+// become persistently infected").
+//
+// On a small-world-ish contact network the example traces the infection
+// curve |A_t|/n, reports the time to full infection, and demonstrates the
+// non-monotonicity of SIS dynamics (unlike COBRA's cover set, infection
+// recedes when re-sampling fails), plus how the persistent source drags
+// the system to total infection regardless.
+//
+// Run with: go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	cobra "github.com/repro/cobra"
+)
+
+func main() {
+	// Contact network: 2-D torus (local contacts) — slow spatial spread.
+	local := cobra.Torus(31, 31)
+	// Versus a well-mixed population: random 6-regular graph.
+	mixed, err := cobra.RandomRegular(961, 6, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, g := range []*cobra.Graph{local, mixed} {
+		fmt.Printf("=== %s (n=%d) ===\n", g.Name(), g.N())
+		tr, err := cobra.TraceInfection(g, cobra.DefaultConfig(), 0, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("time to full infection: %d rounds\n", tr.CompleteRound)
+
+		// Infection curve at deciles of the run, with an ASCII bar.
+		fmt.Println("round   infected  curve")
+		steps := len(tr.InfectedSize)
+		recessions := 0
+		for i := 1; i < steps; i++ {
+			if tr.InfectedSize[i] < tr.InfectedSize[i-1] {
+				recessions++
+			}
+		}
+		for k := 0; k <= 10; k++ {
+			i := k * (steps - 1) / 10
+			frac := float64(tr.InfectedSize[i]) / float64(g.N())
+			bar := strings.Repeat("#", int(frac*40))
+			fmt.Printf("%5d   %7.1f%%  %s\n", i, 100*frac, bar)
+		}
+		fmt.Printf("rounds where infection receded: %d (SIS is non-monotone)\n\n", recessions)
+	}
+
+	fmt.Println("reading: the well-mixed population saturates exponentially fast")
+	fmt.Println("(Theorem 1.5 with constant gap), the spatial torus is held back by")
+	fmt.Println("its small eigenvalue gap — the r/(1-lambda) term dominates.")
+}

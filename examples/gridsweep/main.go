@@ -1,0 +1,75 @@
+// Gridsweep: reproduces the paper's D-dimensional grid discussion at
+// example scale. The cover time of COBRA (b=2) on a D-dimensional torus
+// scales like n^{1/D} (up to polylog/D^2 factors — the O(D^2 n^{1/D})
+// bound of Mitzenmacher et al. cited in the introduction), pinned from
+// below by the universal bound max{log2 n, Diam(G)}.
+//
+// The example sweeps n for D = 1, 2, 3 and fits the scaling exponent by
+// log-log regression, printing the fitted exponent next to the 1/D
+// target.
+//
+// Run with: go run ./examples/gridsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	cobra "github.com/repro/cobra"
+)
+
+const trials = 15
+
+func main() {
+	sweeps := []struct {
+		d     int
+		sides []int
+	}{
+		{1, []int{65, 129, 257, 513}},
+		{2, []int{9, 15, 21, 31}},
+		{3, []int{5, 7, 9}},
+	}
+	fmt.Println("COBRA b=2 cover time on D-dimensional tori (odd sides: non-bipartite)")
+	for _, sw := range sweeps {
+		fmt.Printf("\nD = %d\n%8s %10s %12s %10s\n", sw.d, "n", "diam", "mean cover", "cover/diam")
+		var ns, covers []float64
+		for _, s := range sw.sides {
+			dims := make([]int, sw.d)
+			for i := range dims {
+				dims[i] = s
+			}
+			g := cobra.Torus(dims...)
+			var mean float64
+			for k := 0; k < trials; k++ {
+				t, err := cobra.CoverTime(g, cobra.DefaultConfig(), 0, uint64(k))
+				if err != nil {
+					log.Fatal(err)
+				}
+				mean += float64(t)
+			}
+			mean /= trials
+			diam := g.DiameterApprox()
+			fmt.Printf("%8d %10d %12.1f %10.2f\n", g.N(), diam, mean, mean/float64(diam))
+			ns = append(ns, float64(g.N()))
+			covers = append(covers, mean)
+		}
+		exp := fitExponent(ns, covers)
+		fmt.Printf("fitted exponent: %.3f (paper's shape: n^(1/D) = n^%.3f)\n",
+			exp, 1/float64(sw.d))
+	}
+}
+
+// fitExponent computes the least-squares slope of log(cover) vs log(n).
+func fitExponent(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

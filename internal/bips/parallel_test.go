@@ -1,0 +1,86 @@
+package bips
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+)
+
+func TestParallelBIPSMatchesAcrossWorkerCounts(t *testing.T) {
+	g := graph.Hypercube(7)
+	mk := func(workers int) *ParallelProcess {
+		p, err := NewParallel(g, Config{Branch: 2, Lazy: true}, 0, 77, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p4 := mk(1), mk(4)
+	for r := 0; r < 60 && !(p1.Complete() && p4.Complete()); r++ {
+		p1.Step()
+		p4.Step()
+		if !p1.Infected().Equal(p4.Infected()) {
+			t.Fatalf("round %d: trajectories diverged across worker counts", r+1)
+		}
+	}
+}
+
+func TestParallelBIPSRunCompletes(t *testing.T) {
+	g := graph.Complete(256)
+	p, err := NewParallel(g, DefaultConfig(), 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 3 || rounds > 80 {
+		t.Fatalf("K256 parallel infection %d implausible", rounds)
+	}
+	if !p.Complete() || p.InfectedCount() != g.N() {
+		t.Fatal("Run returned incomplete")
+	}
+}
+
+func TestParallelBIPSSourcePersists(t *testing.T) {
+	g := graph.Cycle(31)
+	p, err := NewParallel(g, DefaultConfig(), 7, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		p.Step()
+		if !p.Infected().Contains(7) {
+			t.Fatalf("round %d: source lost", r+1)
+		}
+	}
+}
+
+func TestParallelBIPSRejectsBadInputs(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := NewParallel(g, Config{Branch: 0}, 0, 1, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewParallel(g, DefaultConfig(), -1, 1, 1); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := NewParallel(b.MustBuild("disc"), DefaultConfig(), 0, 1, 1); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func BenchmarkParallelBIPSRound(b *testing.B) {
+	g := graph.Hypercube(12)
+	p, err := NewParallel(g, Config{Branch: 2, Lazy: true}, 0, 5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,231 @@
+// Package bitset implements dense bit sets over the vertex range [0, n).
+//
+// Two variants are provided:
+//
+//   - Set: a plain, single-goroutine bit set. This is the representation of
+//     the informed/infected vertex sets in the serial simulation engines.
+//   - Atomic: a bit set whose Set operation is safe for concurrent writers,
+//     used by the parallel round engine where many workers mark vertices of
+//     the next infected set simultaneously.
+//
+// Both store one bit per vertex in []uint64 words, so a 1M-vertex set is
+// 128 KiB — small enough to stay cache-resident across rounds.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity dense bit set. The zero value is unusable; create
+// with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for items in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity n of the set (not the population count).
+func (s *Set) Len() int { return s.n }
+
+// Set marks item i as present. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear removes item i.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether item i is present.
+func (s *Set) Contains(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of items present.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset removes all items, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill marks every item in [0, n) present.
+func (s *Set) Fill() {
+	if len(s.words) == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Zero the tail bits beyond n so Count stays exact.
+	if rem := uint(s.n) % wordBits; rem != 0 {
+		s.words[len(s.words)-1] = (1 << rem) - 1
+	}
+}
+
+// Full reports whether every item in [0, n) is present.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// CopyFrom overwrites s with the contents of other. Both must have the same
+// capacity.
+func (s *Set) CopyFrom(other *Set) {
+	if s.n != other.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, other.words)
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Union adds every member of other to s. Capacities must match.
+func (s *Set) Union(other *Set) {
+	if s.n != other.n {
+		panic("bitset: Union capacity mismatch")
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersects reports whether s and other share at least one member.
+func (s *Set) Intersects(other *Set) bool {
+	if s.n != other.n {
+		panic("bitset: Intersects capacity mismatch")
+	}
+	for i, w := range other.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and other contain exactly the same members.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range other.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Members appends all present items to dst (which may be nil) and returns it.
+// Items are produced in increasing order.
+func (s *Set) Members(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, base+tz)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for every present item in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Atomic is a bit set with a concurrency-safe Set operation. Reads
+// (Contains, Count) are safe only after all writers have synchronised (for
+// example, after a WaitGroup barrier at the end of a simulation round).
+type Atomic struct {
+	words []uint64
+	n     int
+}
+
+// NewAtomic returns an empty atomic set with capacity n.
+func NewAtomic(n int) *Atomic {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Atomic{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity n.
+func (a *Atomic) Len() int { return a.n }
+
+// Set marks item i as present. Safe for concurrent callers.
+func (a *Atomic) Set(i int) {
+	addr := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return
+		}
+	}
+}
+
+// Contains reports whether item i is present. Uses an atomic load, so it is
+// safe to interleave with writers, though the answer is only a snapshot.
+func (a *Atomic) Contains(i int) bool {
+	return atomic.LoadUint64(&a.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the population count. Call only after writers are quiesced.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(atomic.LoadUint64(&a.words[i]))
+	}
+	return c
+}
+
+// Reset removes all items. Call only while no writers are active.
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		atomic.StoreUint64(&a.words[i], 0)
+	}
+}
+
+// Snapshot copies the atomic set into a plain Set of the same capacity.
+// Call only after writers are quiesced.
+func (a *Atomic) Snapshot(dst *Set) {
+	if dst.n != a.n {
+		panic("bitset: Snapshot capacity mismatch")
+	}
+	for i := range a.words {
+		dst.words[i] = atomic.LoadUint64(&a.words[i])
+	}
+}

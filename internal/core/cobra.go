@@ -1,0 +1,224 @@
+// Package core implements the COBRA (COalescing-BRAnching random walk)
+// process — the subject of the paper — together with its variants:
+// integer branching factors b >= 1, the fractional branching b = 1 + ρ of
+// Section 6, and the lazy variant used for bipartite graphs (remark under
+// Theorem 1.2).
+//
+// One COBRA round (paper, Section 1): every vertex of the current set C_t
+// independently chooses b neighbours uniformly at random WITH REPLACEMENT;
+// the chosen vertices form C_{t+1}. Multiple arrivals at a vertex coalesce
+// — the set semantics make coalescing implicit. The cover time is the
+// number of rounds until the union of all C_t equals V.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Errors returned by the process constructors and drivers.
+var (
+	ErrConfig       = errors.New("cobra: invalid configuration")
+	ErrDisconnected = errors.New("cobra: graph must be connected")
+	ErrRoundLimit   = errors.New("cobra: round limit exceeded before cover")
+	ErrStart        = errors.New("cobra: invalid start set")
+)
+
+// Config selects the COBRA variant.
+type Config struct {
+	// Branch is the integer branching factor b >= 1. Branch == 1 with
+	// Rho == 0 is the simple random walk; the paper's main case is 2.
+	Branch int
+	// Rho adds fractional branching: each particle sends to one extra
+	// neighbour with probability Rho, so the expected branching factor is
+	// Branch + Rho. Section 6 studies Branch = 1, Rho = ρ ∈ (0, 1].
+	// Must lie in [0, 1].
+	Rho float64
+	// Lazy makes every neighbour selection pick the current vertex itself
+	// with probability 1/2 (the paper's lazy variant, which restores a
+	// positive eigenvalue gap on bipartite graphs).
+	Lazy bool
+	// MaxRounds caps a single run; 0 means the driver default of
+	// 64·n·log2(n)+64 rounds, far above every bound proven in the paper,
+	// so hitting the cap signals a stuck process (e.g. non-lazy COBRA on a
+	// bipartite graph with an unlucky parity) rather than slow covering.
+	MaxRounds int
+}
+
+// DefaultConfig is the paper's primary setting: b = 2, non-lazy.
+func DefaultConfig() Config { return Config{Branch: 2} }
+
+// EffectiveBranch returns the expected branching factor Branch + Rho.
+func (c Config) EffectiveBranch() float64 { return float64(c.Branch) + c.Rho }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Branch < 1 {
+		return fmt.Errorf("%w: Branch must be >= 1, got %d", ErrConfig, c.Branch)
+	}
+	if c.Rho < 0 || c.Rho > 1 {
+		return fmt.Errorf("%w: Rho must be in [0,1], got %v", ErrConfig, c.Rho)
+	}
+	return nil
+}
+
+func (c Config) maxRounds(n int) int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	lg := 1
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	return 64*n*lg + 64
+}
+
+// Process is a single COBRA run. It is not safe for concurrent use; run
+// one Process per goroutine (see internal/sim for the parallel trial
+// harness).
+type Process struct {
+	g   *graph.Graph
+	cfg Config
+	rng *xrand.RNG
+
+	cur       *bitset.Set // C_t
+	next      *bitset.Set // C_{t+1} under construction
+	covered   *bitset.Set // union of C_0..C_t
+	active    []int       // scratch: members of cur
+	round     int
+	nCov      int // cached covered count
+	sent      int64
+	coalesced int64
+}
+
+// New creates a COBRA process on g starting from the given set of vertices
+// (C_0 = start). The graph must be connected and start non-empty.
+func New(g *graph.Graph, cfg Config, start []int, rng *xrand.RNG) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
+	}
+	if len(start) == 0 {
+		return nil, fmt.Errorf("%w: empty C_0", ErrStart)
+	}
+	p := &Process{
+		g:       g,
+		cfg:     cfg,
+		rng:     rng,
+		cur:     bitset.New(g.N()),
+		next:    bitset.New(g.N()),
+		covered: bitset.New(g.N()),
+		active:  make([]int, 0, g.N()),
+	}
+	for _, v := range start {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("%w: vertex %d out of range", ErrStart, v)
+		}
+		if !p.cur.Contains(v) {
+			p.cur.Set(v)
+			p.covered.Set(v)
+			p.nCov++
+		}
+	}
+	return p, nil
+}
+
+// Round returns the number of completed rounds t.
+func (p *Process) Round() int { return p.round }
+
+// Current returns the current set C_t. The returned set is live; do not
+// modify it.
+func (p *Process) Current() *bitset.Set { return p.cur }
+
+// Covered returns the cumulative visited set ∪ C_0..C_t (live; read-only).
+func (p *Process) Covered() *bitset.Set { return p.covered }
+
+// CoveredCount returns |∪ C_0..C_t| without a popcount scan.
+func (p *Process) CoveredCount() int { return p.nCov }
+
+// Complete reports whether every vertex has been visited.
+func (p *Process) Complete() bool { return p.nCov == p.g.N() }
+
+// Transmissions returns the total number of messages (particle moves) sent
+// so far; the paper's motivation is bounding these per vertex per round.
+func (p *Process) Transmissions() int64 { return p.sent }
+
+// Coalesced returns the total number of particle coalescences so far:
+// arrivals that landed on a vertex already receiving a particle in the
+// same round (the "CO" in COBRA). It always equals
+// Transmissions() − Σ_{t>=1} |C_t|.
+func (p *Process) Coalesced() int64 { return p.coalesced }
+
+// Step advances the process by one round: every vertex of C_t pushes to b
+// random neighbours (with replacement), forming C_{t+1}.
+func (p *Process) Step() {
+	p.active = p.cur.Members(p.active[:0])
+	p.next.Reset()
+	sentBefore := p.sent
+	for _, v := range p.active {
+		p.pushFrom(v)
+	}
+	p.coalesced += (p.sent - sentBefore) - int64(p.next.Count())
+	p.cur, p.next = p.next, p.cur
+	p.round++
+	// Fold the new set into the cover set, updating the cached count.
+	for _, w := range p.cur.Members(p.active[:0]) {
+		if !p.covered.Contains(w) {
+			p.covered.Set(w)
+			p.nCov++
+		}
+	}
+}
+
+// pushFrom sends the configured number of particles from v into next.
+func (p *Process) pushFrom(v int) {
+	b := p.cfg.Branch
+	if p.cfg.Rho > 0 && p.rng.Bernoulli(p.cfg.Rho) {
+		b++
+	}
+	deg := p.g.Degree(v)
+	for k := 0; k < b; k++ {
+		if p.cfg.Lazy && p.rng.Bool() {
+			p.next.Set(v)
+		} else {
+			p.next.Set(p.g.Neighbor(v, p.rng.Intn(deg)))
+		}
+		p.sent++
+	}
+}
+
+// Run advances the process until cover or the round cap and returns the
+// number of rounds to cover. If the cap is hit it returns the cap and
+// ErrRoundLimit.
+func (p *Process) Run() (int, error) {
+	limit := p.cfg.maxRounds(p.g.N())
+	for !p.Complete() {
+		if p.round >= limit {
+			return p.round, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, p.g.Name())
+		}
+		p.Step()
+	}
+	return p.round, nil
+}
+
+// RunUntilHit advances until target is visited (or the cap) and returns
+// the hitting round Hit(target).
+func (p *Process) RunUntilHit(target int) (int, error) {
+	if target < 0 || target >= p.g.N() {
+		return 0, fmt.Errorf("%w: target %d out of range", ErrStart, target)
+	}
+	limit := p.cfg.maxRounds(p.g.N())
+	for !p.covered.Contains(target) {
+		if p.round >= limit {
+			return p.round, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, p.g.Name())
+		}
+		p.Step()
+	}
+	return p.round, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Stochastic-dominance sanity tests: relations that must hold between
+// variants in expectation, tested with comfortable margins. They pin the
+// direction of every knob in Config.
+
+func meanCoverOf(t *testing.T, g *graph.Graph, cfg Config, trials int, seed uint64) float64 {
+	t.Helper()
+	rng := xrand.New(seed)
+	var sum float64
+	for k := 0; k < trials; k++ {
+		tm, err := CoverTime(g, cfg, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(tm)
+	}
+	return sum / float64(trials)
+}
+
+func TestMoreBranchingIsFaster(t *testing.T) {
+	// b = 3 covers at least as fast as b = 2, which beats b = 1, on a
+	// cycle (where the differences are large).
+	g := graph.Cycle(96)
+	b1 := meanCoverOf(t, g, Config{Branch: 1}, 10, 101)
+	b2 := meanCoverOf(t, g, Config{Branch: 2}, 30, 102)
+	b3 := meanCoverOf(t, g, Config{Branch: 3}, 30, 103)
+	if b2 >= b1 {
+		t.Fatalf("b=2 (%.1f) not faster than b=1 (%.1f)", b2, b1)
+	}
+	if b3 > b2*1.1 {
+		t.Fatalf("b=3 (%.1f) slower than b=2 (%.1f)", b3, b2)
+	}
+}
+
+func TestLargerStartSetIsFaster(t *testing.T) {
+	g := graph.Cycle(128)
+	rng := xrand.New(7)
+	mean := func(starts []int) float64 {
+		var sum float64
+		for k := 0; k < 25; k++ {
+			p, err := New(g, DefaultConfig(), starts, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(tm)
+		}
+		return sum / 25
+	}
+	single := mean([]int{0})
+	quad := mean([]int{0, 32, 64, 96})
+	if quad >= single {
+		t.Fatalf("4 starts (%.1f) not faster than 1 start (%.1f)", quad, single)
+	}
+}
+
+func TestHigherRhoIsFaster(t *testing.T) {
+	g := graph.Complete(128)
+	lo := meanCoverOf(t, g, Config{Branch: 1, Rho: 0.25}, 30, 201)
+	hi := meanCoverOf(t, g, Config{Branch: 1, Rho: 0.75}, 30, 202)
+	if hi >= lo {
+		t.Fatalf("rho=0.75 (%.1f) not faster than rho=0.25 (%.1f)", hi, lo)
+	}
+}
+
+func TestLazyIsSlowerOnNonBipartite(t *testing.T) {
+	g := graph.Complete(128)
+	plain := meanCoverOf(t, g, Config{Branch: 2}, 30, 301)
+	lazy := meanCoverOf(t, g, Config{Branch: 2, Lazy: true}, 30, 302)
+	if lazy <= plain {
+		t.Fatalf("lazy (%.1f) not slower than plain (%.1f)", lazy, plain)
+	}
+}

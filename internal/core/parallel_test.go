@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+)
+
+func TestParallelMatchesAcrossWorkerCounts(t *testing.T) {
+	// The hashed-randomness design promises identical trajectories for any
+	// worker count. Compare covered-set evolution for 1 vs 4 workers.
+	g := graph.Hypercube(7)
+	mk := func(workers int) *ParallelProcess {
+		p, err := NewParallel(g, Config{Branch: 2, Lazy: true}, []int{0}, 99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p4 := mk(1), mk(4)
+	for r := 0; r < 40 && !(p1.Complete() && p4.Complete()); r++ {
+		p1.Step()
+		p4.Step()
+		if !p1.Current().Equal(p4.Current()) {
+			t.Fatalf("round %d: worker counts diverged", r+1)
+		}
+	}
+}
+
+func TestParallelRunCovers(t *testing.T) {
+	g := graph.Complete(256)
+	p, err := NewParallel(g, DefaultConfig(), []int{0}, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 4 || rounds > 80 {
+		t.Fatalf("parallel K256 cover %d implausible", rounds)
+	}
+	if !p.Complete() || p.CoveredCount() != g.N() {
+		t.Fatal("Run returned without covering")
+	}
+}
+
+func TestParallelSameSeedSameResult(t *testing.T) {
+	g := graph.Torus(9, 9)
+	run := func() int {
+		p, err := NewParallel(g, DefaultConfig(), []int{0}, 1234, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rounds
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different cover times: %d vs %d", a, b)
+	}
+}
+
+func TestParallelRejectsBadInputs(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := NewParallel(g, Config{Branch: 0}, []int{0}, 1, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewParallel(g, DefaultConfig(), nil, 1, 1); err == nil {
+		t.Fatal("empty start accepted")
+	}
+	if _, err := NewParallel(g, DefaultConfig(), []int{9}, 1, 1); err == nil {
+		t.Fatal("bad start vertex accepted")
+	}
+}
+
+func BenchmarkParallelRoundHypercube12(b *testing.B) {
+	g := graph.Hypercube(12)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	p, err := NewParallel(g, Config{Branch: 2, Lazy: true}, all, 5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/sim"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// AblationReplacement quantifies the design decision called out in
+// DESIGN.md: the paper's process samples b neighbours WITH replacement
+// (so a vertex may waste a branch on a duplicate), which is what the
+// library implements. This ablation compares against a without-
+// replacement variant (b distinct neighbours when degree permits). On
+// low-degree graphs the distinction matters most (a degree-2 vertex
+// always informs both neighbours without replacement); the table reports
+// the mean cover times and their ratio.
+func AblationReplacement(p Params) (*sim.Table, error) {
+	trials := pick(p, 10, 60)
+	tb := sim.NewTable("A1: sampling ablation — with vs without replacement (b=2)",
+		"graph", "with-repl", "without-repl", "ratio")
+	tb.Note = "paper semantics = with replacement; without replacement can only be faster"
+	gen := xrand.New(p.Seed ^ 0xa1)
+
+	rr, err := graph.RandomRegular(pick(p, 64, 512), 3, gen)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []*graph.Graph{
+		graph.Cycle(pick(p, 64, 512)),
+		rr,
+		graph.Complete(pick(p, 64, 512)),
+	}
+	for gi, g := range graphs {
+		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa100+gi), Workers: p.Workers}
+		with, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		without, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := coverWithoutReplacement(g, 2, 0, rng)
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(g.Name(), fmt.Sprintf("%.1f", with), fmt.Sprintf("%.1f", without),
+			fmtRatio(with/without))
+	}
+	return tb, nil
+}
+
+// coverWithoutReplacement is the ablation-only variant: each active
+// vertex informs min(b, deg) DISTINCT random neighbours per round.
+func coverWithoutReplacement(g *graph.Graph, b, start int, rng *xrand.RNG) (int, error) {
+	n := g.N()
+	cur := bitset.New(n)
+	next := bitset.New(n)
+	covered := bitset.New(n)
+	cur.Set(start)
+	covered.Set(start)
+	nCov := 1
+	var active []int
+	rounds := 0
+	limit := 64 * n * 32
+	for nCov < n {
+		if rounds >= limit {
+			return rounds, fmt.Errorf("ablation: round limit on %s", g.Name())
+		}
+		active = cur.Members(active[:0])
+		next.Reset()
+		for _, v := range active {
+			deg := g.Degree(v)
+			if deg <= b {
+				for i := 0; i < deg; i++ {
+					next.Set(g.Neighbor(v, i))
+				}
+				continue
+			}
+			// Floyd's algorithm for b distinct indices out of deg.
+			first := rng.Intn(deg - 1)
+			second := rng.Intn(deg)
+			if second == first {
+				second = deg - 1
+			}
+			next.Set(g.Neighbor(v, first))
+			next.Set(g.Neighbor(v, second))
+		}
+		cur, next = next, cur
+		rounds++
+		cur.ForEach(func(w int) {
+			if !covered.Contains(w) {
+				covered.Set(w)
+				nCov++
+			}
+		})
+	}
+	return rounds, nil
+}
+
+// AblationLazy quantifies the cost of laziness on graphs that do not need
+// it: each selection stays put with probability 1/2, so the lazy process
+// moves half as much and should cover roughly 2x slower — the price paid
+// for bipartite safety when applied indiscriminately.
+func AblationLazy(p Params) (*sim.Table, error) {
+	trials := pick(p, 10, 60)
+	tb := sim.NewTable("A2: lazy ablation — lazy vs plain b=2 on non-bipartite graphs",
+		"graph", "plain", "lazy", "lazy/plain")
+	tb.Note = "expected slowdown ~2x (half the selections stay put)"
+	gen := xrand.New(p.Seed ^ 0xa2)
+
+	rr, err := graph.RandomRegular(pick(p, 64, 512), 4, gen)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []*graph.Graph{
+		rr,
+		graph.Complete(pick(p, 64, 512)),
+		graph.DoubleCycle(pick(p, 32, 128)),
+	}
+	for gi, g := range graphs {
+		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa200+gi), Workers: p.Workers}
+		plain, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		lazy, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := core.CoverTime(g, core.Config{Branch: 2, Lazy: true}, 0, rng)
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(g.Name(), fmt.Sprintf("%.1f", plain), fmt.Sprintf("%.1f", lazy),
+			fmtRatio(lazy/plain))
+	}
+	return tb, nil
+}
+
+// AblationParallel compares the serial round engine against the
+// deterministic hashed-randomness parallel engine: both simulate the same
+// process, so mean cover times must agree within sampling error (they use
+// different random streams, not different dynamics).
+func AblationParallel(p Params) (*sim.Table, error) {
+	trials := pick(p, 8, 40)
+	tb := sim.NewTable("A3: engine ablation — serial vs deterministic-parallel rounds",
+		"graph", "serial mean", "parallel mean", "rel diff", "sigma")
+	tb.Note = "same dynamics, different streams: difference must be within a few standard errors"
+	gen := xrand.New(p.Seed ^ 0xa3)
+
+	rr, err := graph.RandomRegular(pick(p, 128, 1024), 3, gen)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []*graph.Graph{rr, graph.Complete(pick(p, 128, 1024))}
+	for gi, g := range graphs {
+		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa300+gi), Workers: p.Workers}
+		serialXs, err := runner.Run(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		parXs, err := runner.Run(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+			proc, err := core.NewParallel(g, core.Config{Branch: 2}, []int{0}, rng.Uint64(), 0)
+			if err != nil {
+				return 0, err
+			}
+			t, err := proc.Run()
+			return float64(t), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms, ss := meanStd(serialXs)
+		mp, sp2 := meanStd(parXs)
+		pooled := math.Sqrt(ss*ss/float64(len(serialXs)) + sp2*sp2/float64(len(parXs)))
+		sigma := 0.0
+		if pooled > 0 {
+			sigma = math.Abs(ms-mp) / pooled
+		}
+		tb.AddRow(g.Name(), fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.1f", mp),
+			fmt.Sprintf("%.3f", math.Abs(ms-mp)/ms), fmt.Sprintf("%.2f", sigma))
+	}
+	return tb, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(std / float64(len(xs)-1))
+	}
+	return mean, std
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/sim"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// E13Conjecture probes the conclusions section's open problem: "there are
+// no known examples of the cover time ω(n log n); it has actually been
+// conjectured the worst-case cover time for any graph is O(n log n)."
+//
+// The experiment sweeps the E1 families plus adversarial shapes built to
+// stress dead-end traversal (spiders = stars of paths, thin barbells),
+// normalises each measured cover time by n·ln n, and reports the
+// trend across the n-sweep. The conjecture predicts every family's
+// normalised value stays bounded (no growth with n); the worst family
+// identifies where the conjectured extremal graphs live (paths/cycles).
+func E13Conjecture(p Params) (*sim.Table, error) {
+	sizes := pick(p, []int{64, 128}, []int{128, 256, 512, 1024})
+	trials := pick(p, 5, 25)
+	tb := sim.NewTable("E13: conclusions — scan for cover/(n ln n) growth (conjecture: bounded)",
+		"graph", "n", "mean-cover", "n ln n", "cover/(n ln n)")
+	tb.Note = "conjecture (paper conclusions): worst-case cover is O(n log n); column 5 must not grow"
+	gen := xrand.New(p.Seed ^ 0x13)
+
+	families := append(generalFamilies(),
+		familySpec{"spider", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+			legs := int(math.Sqrt(float64(n)))
+			legLen := (n - 1) / legs
+			return graph.Spider(legs, legLen), nil
+		}},
+		familySpec{"thin-barbell", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+			k := int(math.Sqrt(float64(n)))
+			if k < 2 {
+				k = 2
+			}
+			return graph.Barbell(k, n-2*k), nil
+		}},
+	)
+
+	worst := 0.0
+	worstAt := ""
+	for _, fam := range families {
+		for _, n := range sizes {
+			g, err := fam.build(n, gen)
+			if err != nil {
+				return nil, fmt.Errorf("E13 %s n=%d: %w", fam.name, n, err)
+			}
+			cfg := cfgFor(g)
+			mean, err := meanCover(p, g, cfg, trials)
+			if err != nil {
+				return nil, fmt.Errorf("E13 %s n=%d: %w", fam.name, n, err)
+			}
+			norm := float64(g.N()) * math.Log(float64(g.N()))
+			ratio := mean / norm
+			if ratio > worst {
+				worst, worstAt = ratio, fmt.Sprintf("%s n=%d", fam.name, g.N())
+			}
+			tb.AddRow(fam.name, g.N(), fmt.Sprintf("%.1f", mean),
+				fmt.Sprintf("%.0f", norm), fmtRatio(ratio))
+		}
+	}
+	tb.Note += fmt.Sprintf("; worst observed: %.4f at %s", worst, worstAt)
+	return tb, nil
+}

@@ -1,0 +1,136 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md §4 (E1–E12 plus ablations), each
+// regenerating a table that checks the *shape* of a theorem, lemma or
+// worked example from the paper. The paper itself contains no empirical
+// tables or figures — it is a theory paper — so these experiments are the
+// executable counterparts of its stated bounds.
+//
+// Every experiment is a pure function of (code, Params.Seed): trials run
+// through sim.Runner with per-trial deterministic streams.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/cobra/internal/bounds"
+	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/sim"
+	"github.com/repro/cobra/internal/spectral"
+	"github.com/repro/cobra/internal/stats"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick runs reduced sizes/trials, for tests and benchmarks.
+	Quick Scale = iota
+	// Full runs the sizes reported in EXPERIMENTS.md.
+	Full
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Seed is the master seed; every randomised choice derives from it.
+	Seed uint64
+	// Scale selects Quick or Full sizing.
+	Scale Scale
+	// Workers caps trial parallelism (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (p Params) runner() sim.Runner {
+	return sim.Runner{Seed: p.Seed, Workers: p.Workers}
+}
+
+// pick returns q at Quick scale and f at Full scale.
+func pick[T any](p Params, q, f T) T {
+	if p.Scale == Full {
+		return f
+	}
+	return q
+}
+
+// Experiment pairs an identifier with its generator for the registry.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Params) (*sim.Table, error)
+}
+
+// All returns the full experiment registry in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Theorem 1.1 — general graphs: cover = O(m + dmax^2 log n)", E1GeneralGraphs},
+		{"E2", "Theorem 1.2 — regular graphs: cover = O((r/(1-l)+r^2) log n)", E2RegularGraphs},
+		{"E3", "Hypercube example — log^8 vs log^4 vs log^3 bounds vs measured", E3Hypercube},
+		{"E4", "Theorem 1.3 — COBRA/BIPS duality (pathwise + Monte Carlo)", E4Duality},
+		{"E5", "Theorems 1.4/1.5 — BIPS infection time obeys the same bounds", E5BIPS},
+		{"E6", "Section 6 — fractional branching b = 1+rho costs <= 1/rho^2", E6Fractional},
+		{"E7", "Intro (i)/(ii) — complete graphs and expanders cover in O(log n)", E7Expanders},
+		{"E8", "Grids — cover ~ n^(1/D), and the max{log2 n, Diam} lower bound", E8Grids},
+		{"E9", "Lemma 4.1 — per-round BIPS growth >= |A|(1+(1-l^2)(1-|A|/n))", E9Growth},
+		{"E10", "Eq. (18) — serialised step expectations E(Y_l|past) >= 1/2", E10Martingale},
+		{"E11", "Corollary 5.2 — candidate sets |C_t| >= |A|(1-l)/2", E11Candidates},
+		{"E12", "Baselines — COBRA vs random walk vs multi-walk vs push", E12Baselines},
+		{"E13", "Conclusions — scan for cover/(n log n) growth (conjecture check)", E13Conjecture},
+		{"E14", "W.h.p. concentration — cover-time tail quantiles vs mean", E14Concentration},
+		{"A1", "Ablation — with vs without replacement neighbour sampling", AblationReplacement},
+		{"A2", "Ablation — lazy overhead on non-bipartite graphs", AblationLazy},
+		{"A3", "Ablation — serial vs deterministic-parallel round engine", AblationParallel},
+	}
+}
+
+// meanCover returns the mean COBRA cover time over trials from vertex 0.
+func meanCover(p Params, g *graph.Graph, cfg core.Config, trials int) (float64, error) {
+	return p.runner().RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
+		t, err := core.CoverTime(g, cfg, 0, rng)
+		return float64(t), err
+	})
+}
+
+// generalBound evaluates the Theorem 1.1 shape m + dmax^2 ln n.
+func generalBound(g *graph.Graph) float64 { return bounds.General(g) }
+
+// regularBound evaluates the Theorem 1.2 shape (r/gap + r^2) ln n.
+// Experiments always call it with gaps in (0, 1], so errors cannot occur;
+// fall back to +Inf defensively.
+func regularBound(r int, gap float64, n int) float64 {
+	v, err := bounds.Regular(n, r, gap)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// lazyGap returns the lazy-walk eigenvalue gap, the right parameter when
+// the process itself is lazy (bipartite families).
+func lazyGap(g *graph.Graph) (float64, error) {
+	lam, err := spectral.SecondEigenvalueLazy(g, spectral.Options{Tol: 1e-9})
+	if err != nil {
+		return 0, err
+	}
+	return 1 - lam, nil
+}
+
+// plainGap returns the plain-walk eigenvalue gap 1 − λ.
+func plainGap(g *graph.Graph) (float64, error) {
+	return spectral.Gap(g, spectral.Options{Tol: 1e-9})
+}
+
+// cfgFor returns the b=2 configuration appropriate for g: lazy on
+// bipartite graphs (per the remark under Theorem 1.2), plain otherwise.
+func cfgFor(g *graph.Graph) core.Config {
+	return core.Config{Branch: 2, Lazy: g.IsBipartite()}
+}
+
+// fmtRatio renders a ratio with sensible precision.
+func fmtRatio(r float64) string { return fmt.Sprintf("%.4f", r) }
+
+// semiLogFit and logLogFit re-export the stats fits with the package's
+// short names.
+func semiLogFit(xs, ys []float64) (stats.Fit, error) { return stats.SemiLogFit(xs, ys) }
+func logLogFit(xs, ys []float64) (stats.Fit, error)  { return stats.LogLogFit(xs, ys) }

@@ -1,0 +1,89 @@
+package gossip
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func TestPushValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	rng := xrand.New(1)
+	if _, err := Push(g, 9, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("bad start accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := Push(b.MustBuild("disc"), 0, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestPushCoversCompleteGraphLogRounds(t *testing.T) {
+	// Push on K_n completes in log2 n + ln n + o(log n) rounds.
+	g := graph.Complete(256)
+	rng := xrand.New(3)
+	const trials = 20
+	var sum float64
+	for k := 0; k < trials; k++ {
+		res, err := Push(g, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages <= 0 {
+			t.Fatal("no messages recorded")
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / trials
+	want := math.Log2(256) + math.Log(256) // ≈ 13.5
+	if mean < want*0.6 || mean > want*2 {
+		t.Fatalf("push rounds mean %.1f vs theory %.1f", mean, want)
+	}
+}
+
+func TestPushStarCouponCollector(t *testing.T) {
+	// On the star only the hub informs leaves: Θ(n log n) rounds.
+	g := graph.Star(64)
+	rng := xrand.New(5)
+	res, err := Push(g, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 63 * math.Log(63) // ≈ 261
+	if float64(res.Rounds) < want/4 || float64(res.Rounds) > want*4 {
+		t.Fatalf("star push rounds %d vs coupon collector %.0f", res.Rounds, want)
+	}
+}
+
+func TestPushMessagesGrowWithRounds(t *testing.T) {
+	// Messages = sum over rounds of |informed|; must be at least rounds
+	// (one per round) and at most rounds*n.
+	g := graph.Cycle(40)
+	res, err := Push(g, 0, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages < int64(res.Rounds) || res.Messages > int64(res.Rounds)*40 {
+		t.Fatalf("messages %d outside [rounds, rounds*n]", res.Messages)
+	}
+}
+
+func TestPushDeterminism(t *testing.T) {
+	g := graph.Hypercube(4)
+	a, err := Push(g, 0, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Push(g, 0, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("determinism broken: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as
+// unit tests; `go test -fuzz=FuzzReadEdgeList ./internal/graph` explores
+// further.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("# name\nn 5\n0 4\n")
+	f.Add("")
+	f.Add("n 0\n")
+	f.Add("n 2\n0 0\n")
+	f.Add("0 1\n")
+	f.Add("n 2\n0 1\n0 1\n")
+	f.Add("n x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejections are fine; crashes are not
+		}
+		// Any accepted graph must satisfy all structural invariants and
+		// round-trip to an equivalent graph.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("WriteEdgeList: %v", err)
+		}
+		back, err := ReadEdgeList(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.N(), back.M(), g.N(), g.M())
+		}
+	})
+}

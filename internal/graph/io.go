@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization: a plain edge-list text format for interchange with other
+// tools (one "u v" pair per line, '#' comments, a "n <count>" header to
+// preserve isolated vertices), and Graphviz DOT export for visual
+// inspection of the small experiment graphs.
+
+// WriteEdgeList writes the graph in edge-list format:
+//
+//	# name
+//	n <vertices>
+//	u v          (one line per edge, u < v)
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s\nn %d\n", g.name, g.n); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are comments; the first comment line, if present, supplies the
+// graph name (overridden by a non-empty name argument).
+func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed header %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before 'n' header", lineNo)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input (no 'n' header)")
+	}
+	if name == "" {
+		name = "edgelist"
+	}
+	return b.Build(name)
+}
+
+// WriteDOT writes the graph in Graphviz DOT format. highlight, if
+// non-nil, marks a vertex set (e.g. an infected set snapshot) with a
+// fill colour.
+func (g *Graph) WriteDOT(w io.Writer, highlight func(v int) bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle];\n", sanitizeDOT(g.name)); err != nil {
+		return err
+	}
+	if highlight != nil {
+		for v := 0; v < g.n; v++ {
+			if highlight(v) {
+				if _, err := fmt.Fprintf(bw, "  %d [style=filled, fillcolor=lightcoral];\n", v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Cycle(9), Petersen(), Star(7), Grid(3, 4)} {
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf, "")
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("%s: round trip n=%d m=%d", g.Name(), back.N(), back.M())
+		}
+		if back.Name() != g.Name() {
+			t.Fatalf("name lost: %q", back.Name())
+		}
+		for v := 0; v < g.N(); v++ {
+			na, nb := g.Neighbors(v), back.Neighbors(v)
+			if len(na) != len(nb) {
+				t.Fatalf("%s: adjacency mismatch at %d", g.Name(), v)
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatalf("%s: adjacency mismatch at %d", g.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestReadEdgeListIsolatedVertices(t *testing.T) {
+	// The n header preserves isolated vertices that no edge mentions.
+	in := "n 5\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), "custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 1 || g.Name() != "custom" {
+		t.Fatalf("n=%d m=%d name=%q", g.N(), g.M(), g.Name())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"0 1\n",           // edge before header
+		"n 3\nn 3\n",      // duplicate header
+		"n x\n",           // bad count
+		"n 3\n0\n",        // malformed edge
+		"n 3\n0 z\n",      // bad vertex
+		"n 3\n0 0\n",      // self loop (builder error)
+		"n 3\n0 1\n1 0\n", // duplicate edge
+		"n 3\n0 7\n",      // out of range
+		"n 3 4\n",         // malformed header
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), ""); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# my graph\n\nn 3\n# an edge\n0 1\n 1 2 \n"
+	g, err := ReadEdgeList(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.Name() != "my graph" {
+		t.Fatalf("m=%d name=%q", g.M(), g.Name())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Cycle(4)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, func(v int) bool { return v == 2 }); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph \"cycle-4\"", "0 -- 1", "2 [style=filled", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Each undirected edge appears once.
+	if strings.Count(out, "--") != g.M() {
+		t.Fatalf("DOT edge count %d != m", strings.Count(out, "--"))
+	}
+	// No highlight function: still valid output.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "filled") {
+		t.Fatal("unexpected highlight")
+	}
+}

@@ -1,0 +1,27 @@
+package graphspec
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"complete:10", "cycle:5", "grid:3:3", "er:20:0.5", "rreg:10:3",
+		"petersen", "", "unknown", "complete:", "complete:-5", "grid:0",
+		"torus:1000000:1000000", "hypercube:40", "er:5:nan", "lollipop:2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := Parse(spec, 1)
+		if err != nil {
+			return
+		}
+		// Accepted specs must yield structurally valid graphs.
+		if g.N() < 1 {
+			t.Fatalf("spec %q produced empty graph", spec)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("spec %q produced invalid graph: %v", spec, err)
+		}
+	})
+}

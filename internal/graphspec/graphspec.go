@@ -1,0 +1,218 @@
+// Package graphspec parses compact command-line graph specifications of
+// the form "family:arg1:arg2", shared by the cmd/ tools. Examples:
+//
+//	complete:256        K_256
+//	cycle:1000          the 1000-cycle
+//	path:500            the 500-path
+//	star:100            K_{1,99}
+//	hypercube:10        Q_10 (1024 vertices)
+//	grid:32:32          32x32 grid
+//	torus:15:15         15x15 torus
+//	bintree:255         complete binary tree
+//	lollipop:60:40      60-clique + 40-path
+//	barbell:40:20       two 40-cliques, 20-path bridge
+//	bipartite:50:50     K_{50,50}
+//	doublecycle:200     circulant C_200(1,2)
+//	chord:200:4         circulant C_200(1..4)
+//	petersen            the Petersen graph
+//	er:500:0.02         connected G(500, 0.02)        (seeded)
+//	rreg:500:3          random 3-regular on 500       (seeded)
+//	rtree:500           uniform random tree           (seeded)
+package graphspec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// ErrSpec flags an unparseable specification.
+var ErrSpec = errors.New("graphspec: invalid specification")
+
+// Parse builds the graph described by spec. Random families draw from the
+// given seed deterministically.
+func Parse(spec string, seed uint64) (*graph.Graph, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("%w: empty spec", ErrSpec)
+	}
+	name := strings.ToLower(parts[0])
+	args := parts[1:]
+
+	intArg := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%w: %s needs argument %d", ErrSpec, name, i+1)
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s argument %q not an integer", ErrSpec, name, args[i])
+		}
+		return v, nil
+	}
+	floatArg := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%w: %s needs argument %d", ErrSpec, name, i+1)
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s argument %q not a number", ErrSpec, name, args[i])
+		}
+		return v, nil
+	}
+
+	// Panicking generators are converted to errors for CLI friendliness.
+	build := func(fn func() *graph.Graph) (g *graph.Graph, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: %v", ErrSpec, r)
+			}
+		}()
+		return fn(), nil
+	}
+
+	switch name {
+	case "complete":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Complete(n) })
+	case "cycle":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Cycle(n) })
+	case "path":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Path(n) })
+	case "star":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Star(n) })
+	case "hypercube":
+		d, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Hypercube(d) })
+	case "grid":
+		dims, err := allInts(args, name)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Grid(dims...) })
+	case "torus":
+		dims, err := allInts(args, name)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Torus(dims...) })
+	case "bintree":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.BinaryTree(n) })
+	case "lollipop":
+		k, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		l, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Lollipop(k, l) })
+	case "barbell":
+		k, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		l, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Barbell(k, l) })
+	case "bipartite":
+		a, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.CompleteBipartite(a, b) })
+	case "doublecycle":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.DoubleCycle(n) })
+	case "chord":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		k, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *graph.Graph { return graph.Chord(n, k) })
+	case "petersen":
+		return graph.Petersen(), nil
+	case "er":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := floatArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ErdosRenyi(n, p, xrand.New(seed))
+	case "rreg":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(n, r, xrand.New(seed))
+	case "rtree":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(n, xrand.New(seed))
+	default:
+		return nil, fmt.Errorf("%w: unknown family %q (see package doc for the list)", ErrSpec, name)
+	}
+}
+
+func allInts(args []string, name string) ([]int, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("%w: %s needs dimensions", ErrSpec, name)
+	}
+	out := make([]int, len(args))
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s argument %q not an integer", ErrSpec, name, a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

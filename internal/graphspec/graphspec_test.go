@@ -1,0 +1,84 @@
+package graphspec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseAllFamilies(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"complete:10", 10},
+		{"cycle:12", 12},
+		{"path:9", 9},
+		{"star:7", 7},
+		{"hypercube:4", 16},
+		{"grid:3:4", 12},
+		{"torus:3:5", 15},
+		{"bintree:15", 15},
+		{"lollipop:4:3", 7},
+		{"barbell:3:2", 8},
+		{"bipartite:3:4", 7},
+		{"doublecycle:9", 9},
+		{"chord:11:2", 11},
+		{"petersen", 10},
+		{"er:60:0.15", 60},
+		{"rreg:20:3", 20},
+		{"rtree:25", 25},
+	}
+	for _, tc := range cases {
+		g, err := Parse(tc.spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("%s: n = %d, want %d", tc.spec, g.N(), tc.n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+	}
+}
+
+func TestParseCaseAndWhitespace(t *testing.T) {
+	g, err := Parse("  Complete:5 ", 1)
+	if err != nil || g.N() != 5 {
+		t.Fatalf("case/space handling broken: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "unknown:5", "complete", "complete:x", "er:50", "er:50:zz",
+		"grid", "lollipop:4", "cycle:2", "hypercube:0", "torus:2:2",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); !errors.Is(err, ErrSpec) && err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseSeedDeterminism(t *testing.T) {
+	a, err := Parse("rreg:30:3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("rreg:30:3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatal("seeded parse not deterministic")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("seeded parse not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export for downstream plotting of experiment tables and per-round
+// traces.
+
+// ErrCSV flags invalid CSV-export arguments.
+var ErrCSV = errors.New("sim: invalid csv input")
+
+// WriteCSV writes the table (header + rows) as RFC-4180 CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV writes parallel numeric columns as CSV with the given
+// header names: one row per index. All series must share a length.
+func WriteSeriesCSV(w io.Writer, names []string, series ...[]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("%w: %d names for %d series", ErrCSV, len(names), len(series))
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("%w: no series", ErrCSV)
+	}
+	length := len(series[0])
+	for _, s := range series {
+		if len(s) != length {
+			return fmt.Errorf("%w: ragged series lengths", ErrCSV)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	row := make([]string, len(series))
+	for i := 0; i < length; i++ {
+		for j, s := range series {
+			row[j] = strconv.FormatFloat(s[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// IntSeries converts an int slice to float64 for WriteSeriesCSV.
+func IntSeries(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

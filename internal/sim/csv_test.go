@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 1)
+	tb.AddRow("y, with comma", 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"y, with comma"`) {
+		t.Fatalf("comma not quoted: %q", lines[2])
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeriesCSV(&sb, []string{"round", "size"},
+		[]float64{0, 1, 2}, []float64{1, 3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 || lines[0] != "round,size" || lines[2] != "1,3" {
+		t.Fatalf("series csv:\n%s", sb.String())
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, []string{"a"}, []float64{1}, []float64{2}); !errors.Is(err, ErrCSV) {
+		t.Fatal("name/series mismatch accepted")
+	}
+	if err := WriteSeriesCSV(&sb, []string{}); !errors.Is(err, ErrCSV) {
+		t.Fatal("no series accepted")
+	}
+	if err := WriteSeriesCSV(&sb, []string{"a", "b"}, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrCSV) {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestIntSeries(t *testing.T) {
+	out := IntSeries([]int{1, 2, 3})
+	if len(out) != 3 || out[2] != 3 {
+		t.Fatalf("IntSeries %v", out)
+	}
+}

@@ -1,0 +1,97 @@
+// Package sim is the experiment harness: a parallel trial runner that
+// fans independent simulation trials across worker goroutines with one
+// deterministic RNG stream per trial, plus plain-text table rendering for
+// the experiment outputs.
+//
+// The design follows the repository-wide reproducibility rule: an
+// experiment is a pure function of (code, master seed). Trial k always
+// receives stream NewStream(seed, k) regardless of worker count or
+// scheduling, so results are identical for -cpu=1 and -cpu=64.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// ErrInput flags invalid runner arguments.
+var ErrInput = errors.New("sim: invalid input")
+
+// TrialFunc runs one independent trial and returns its measurement. The
+// rng is the trial's private stream; trial is the trial index.
+type TrialFunc func(trial int, rng *xrand.RNG) (float64, error)
+
+// Runner executes batches of trials in parallel.
+type Runner struct {
+	// Seed is the master seed; trial k uses stream (Seed, k).
+	Seed uint64
+	// Workers caps parallelism; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Run executes `trials` independent trials and returns their measurements
+// in trial order. The first trial error (lowest index) aborts the batch.
+func (r Runner) Run(trials int, fn TrialFunc) ([]float64, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("%w: trials < 1", ErrInput)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("%w: nil trial function", ErrInput)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	out := make([]float64, trials)
+	errs := make([]error, trials)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := int(next)
+				next++
+				mu.Unlock()
+				if k >= trials {
+					return
+				}
+				rng := xrand.NewStream(r.Seed, uint64(k))
+				v, err := fn(k, rng)
+				out[k] = v
+				errs[k] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunMeans is a convenience wrapper returning the mean measurement.
+func (r Runner) RunMeans(trials int, fn TrialFunc) (float64, error) {
+	xs, err := r.Run(trials, fn)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}

@@ -1,0 +1,156 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func TestFullSpectrumClosedForms(t *testing.T) {
+	// K_5: eigenvalues {1, -1/4 (×4)}.
+	eig, err := FullSpectrum(graph.Complete(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -0.25, -0.25, -0.25, -0.25}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Fatalf("K5 spectrum %v", eig)
+		}
+	}
+	// C_4: cos(2πk/4) = {1, 0, 0, -1}.
+	eig, err = FullSpectrum(graph.Cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []float64{1, 0, 0, -1}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Fatalf("C4 spectrum %v", eig)
+		}
+	}
+	// Petersen walk spectrum: {1, 1/3 ×5, -2/3 ×4}.
+	eig, err = FullSpectrum(graph.Petersen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []float64{1, 1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, -2.0 / 3, -2.0 / 3, -2.0 / 3, -2.0 / 3}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Fatalf("petersen spectrum %v", eig)
+		}
+	}
+}
+
+func TestFullSpectrumHypercube(t *testing.T) {
+	// Q_d: eigenvalues 1 - 2k/d with multiplicity C(d, k).
+	d := 4
+	eig, err := FullSpectrum(graph.Hypercube(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	binom := []int{1, 4, 6, 4, 1}
+	for k := 0; k <= d; k++ {
+		v := 1 - 2*float64(k)/float64(d)
+		for c := 0; c < binom[k]; c++ {
+			want = append(want, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Fatalf("Q4 spectrum mismatch at %d: %v vs %v", i, eig[i], want[i])
+		}
+	}
+}
+
+func TestSpectrumSumsToZeroTrace(t *testing.T) {
+	// trace(P) = 0 for loopless graphs, so eigenvalues sum to ~0.
+	rng := xrand.New(7)
+	g, err := graph.ErdosRenyi(60, 0.12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := FullSpectrum(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range eig {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-8 {
+		t.Fatalf("spectrum sums to %v, want 0", sum)
+	}
+	if math.Abs(eig[0]-1) > 1e-9 {
+		t.Fatalf("top eigenvalue %v != 1", eig[0])
+	}
+}
+
+func TestPowerIterationMatchesDense(t *testing.T) {
+	// Cross-validate the production path against the dense solver on
+	// irregular random graphs with no closed form.
+	rng := xrand.New(11)
+	for trial := 0; trial < 5; trial++ {
+		g, err := graph.ErdosRenyi(50, 0.15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := SecondEigenvalue(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SecondEigenvalueExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-exact) > 1e-6 {
+			t.Fatalf("trial %d: power %v vs dense %v", trial, fast, exact)
+		}
+	}
+	// And on random regular graphs.
+	for trial := 0; trial < 5; trial++ {
+		g, err := graph.RandomRegular(40, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := SecondEigenvalue(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SecondEigenvalueExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-exact) > 1e-6 {
+			t.Fatalf("regular trial %d: power %v vs dense %v", trial, fast, exact)
+		}
+	}
+}
+
+func TestFullSpectrumSizeCap(t *testing.T) {
+	b := graph.NewBuilder(maxJacobiN + 1)
+	for i := 0; i <= maxJacobiN-1; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild("too-big")
+	if _, err := FullSpectrum(g); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestBipartiteLowestEigenvalueIsMinusOne(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(8), graph.Star(7), graph.CompleteBipartite(3, 5)} {
+		eig, err := FullSpectrum(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(eig[len(eig)-1]+1) > 1e-9 {
+			t.Fatalf("%s: lowest eigenvalue %v != -1", g.Name(), eig[len(eig)-1])
+		}
+	}
+}

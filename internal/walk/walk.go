@@ -1,0 +1,126 @@
+// Package walk implements the random-walk baselines against which the
+// paper positions COBRA: the simple random walk (the b = 1 degenerate
+// case, with cover time Ω(n log n) on every graph and Θ(n³) on the
+// lollipop), and k independent parallel random walks (the "multiple
+// random walks" literature cited as [1-3, 7]).
+package walk
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Errors returned by the drivers.
+var (
+	ErrInput     = errors.New("walk: invalid input")
+	ErrStepLimit = errors.New("walk: step limit exceeded before cover")
+)
+
+// maxSteps returns the driver safety cap: comfortably above the Θ(n³)
+// worst-case cover time of the simple walk.
+func maxSteps(n int) int64 {
+	nn := int64(n)
+	cap := 64*nn*nn*nn + 1024
+	return cap
+}
+
+// CoverTime runs a simple random walk (lazy if lazy is set: stay put with
+// probability 1/2) from start and returns the number of steps to visit
+// every vertex.
+func CoverTime(g *graph.Graph, start int, lazy bool, rng *xrand.RNG) (int64, error) {
+	if start < 0 || start >= g.N() {
+		return 0, fmt.Errorf("%w: start %d", ErrInput, start)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("%w: disconnected graph", ErrInput)
+	}
+	visited := bitset.New(g.N())
+	visited.Set(start)
+	remaining := g.N() - 1
+	pos := start
+	limit := maxSteps(g.N())
+	var steps int64
+	for remaining > 0 {
+		if steps >= limit {
+			return steps, ErrStepLimit
+		}
+		if !lazy || rng.Bool() {
+			pos = g.Neighbor(pos, rng.Intn(g.Degree(pos)))
+		}
+		steps++
+		if !visited.Contains(pos) {
+			visited.Set(pos)
+			remaining--
+		}
+	}
+	return steps, nil
+}
+
+// HitTime returns the number of steps for a simple random walk from start
+// to first reach target.
+func HitTime(g *graph.Graph, start, target int, lazy bool, rng *xrand.RNG) (int64, error) {
+	if start < 0 || start >= g.N() || target < 0 || target >= g.N() {
+		return 0, fmt.Errorf("%w: start %d target %d", ErrInput, start, target)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("%w: disconnected graph", ErrInput)
+	}
+	pos := start
+	limit := maxSteps(g.N())
+	var steps int64
+	for pos != target {
+		if steps >= limit {
+			return steps, ErrStepLimit
+		}
+		if !lazy || rng.Bool() {
+			pos = g.Neighbor(pos, rng.Intn(g.Degree(pos)))
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// MultiCoverTime runs k independent random walks in synchronised rounds,
+// all starting at start, and returns the number of ROUNDS (one move of
+// every walker) until every vertex has been visited by some walker. This
+// is the comparison process of the multiple-random-walk literature: like
+// COBRA it moves k tokens per round, but the token count is fixed rather
+// than branching-and-coalescing.
+func MultiCoverTime(g *graph.Graph, k, start int, rng *xrand.RNG) (int64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("%w: k < 1", ErrInput)
+	}
+	if start < 0 || start >= g.N() {
+		return 0, fmt.Errorf("%w: start %d", ErrInput, start)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("%w: disconnected graph", ErrInput)
+	}
+	visited := bitset.New(g.N())
+	visited.Set(start)
+	remaining := g.N() - 1
+	pos := make([]int, k)
+	for i := range pos {
+		pos[i] = start
+	}
+	limit := maxSteps(g.N())
+	var rounds int64
+	for remaining > 0 {
+		if rounds >= limit {
+			return rounds, ErrStepLimit
+		}
+		for i := range pos {
+			pos[i] = g.Neighbor(pos[i], rng.Intn(g.Degree(pos[i])))
+			if !visited.Contains(pos[i]) {
+				visited.Set(pos[i])
+				remaining--
+			}
+		}
+		rounds++
+	}
+	return rounds, nil
+}

@@ -1,0 +1,143 @@
+package walk
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func TestCoverTimeInputValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	rng := xrand.New(1)
+	if _, err := CoverTime(g, -1, false, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("bad start accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := CoverTime(b.MustBuild("disc"), 0, false, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestCoverTimeCompleteGraphCouponCollector(t *testing.T) {
+	// Cover time of K_n by a simple walk is ~ n ln n (coupon collector).
+	g := graph.Complete(64)
+	rng := xrand.New(3)
+	const trials = 40
+	var sum float64
+	for k := 0; k < trials; k++ {
+		steps, err := CoverTime(g, 0, false, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(steps)
+	}
+	mean := sum / trials
+	want := 64 * math.Log(64) // ≈ 266
+	if mean < want/2 || mean > want*2 {
+		t.Fatalf("K64 RW cover mean %.1f vs coupon collector %.1f", mean, want)
+	}
+}
+
+func TestCoverTimeCycleQuadratic(t *testing.T) {
+	// Cycle cover time is n(n-1)/2 in expectation.
+	g := graph.Cycle(32)
+	rng := xrand.New(5)
+	const trials = 60
+	var sum float64
+	for k := 0; k < trials; k++ {
+		steps, err := CoverTime(g, 0, false, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(steps)
+	}
+	mean := sum / trials
+	want := 32.0 * 31 / 2 // 496
+	if mean < want*0.6 || mean > want*1.6 {
+		t.Fatalf("C32 RW cover mean %.1f vs theory %.1f", mean, want)
+	}
+}
+
+func TestLazyWalkSlowerByFactorTwo(t *testing.T) {
+	g := graph.Cycle(24)
+	mean := func(lazy bool, seed uint64) float64 {
+		rng := xrand.New(seed)
+		var sum float64
+		for k := 0; k < 60; k++ {
+			steps, err := CoverTime(g, 0, lazy, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(steps)
+		}
+		return sum / 60
+	}
+	plain := mean(false, 7)
+	lazy := mean(true, 9)
+	ratio := lazy / plain
+	if ratio < 1.5 || ratio > 2.8 {
+		t.Fatalf("lazy/plain cover ratio %.2f not ≈ 2", ratio)
+	}
+}
+
+func TestHitTime(t *testing.T) {
+	g := graph.Path(6)
+	rng := xrand.New(11)
+	// Hitting the far end of a path takes at least the distance.
+	steps, err := HitTime(g, 0, 5, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 5 {
+		t.Fatalf("hit time %d below distance", steps)
+	}
+	steps, err = HitTime(g, 2, 2, false, rng)
+	if err != nil || steps != 0 {
+		t.Fatalf("self hit %d, %v", steps, err)
+	}
+	if _, err := HitTime(g, 0, 9, false, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("bad target accepted")
+	}
+}
+
+func TestMultiCoverTime(t *testing.T) {
+	g := graph.Complete(64)
+	rng := xrand.New(13)
+	single, err := MultiCoverTime(g, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MultiCoverTime(g, 16, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi >= single {
+		t.Fatalf("16 walkers (%d rounds) not faster than 1 (%d rounds)", multi, single)
+	}
+	if _, err := MultiCoverTime(g, 0, 0, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := MultiCoverTime(g, 2, -3, rng); !errors.Is(err, ErrInput) {
+		t.Fatal("bad start accepted")
+	}
+}
+
+func TestWalkDeterminism(t *testing.T) {
+	g := graph.Petersen()
+	a, err := CoverTime(g, 0, false, xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoverTime(g, 0, false, xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("determinism broken: %d vs %d", a, b)
+	}
+}
