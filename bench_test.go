@@ -8,10 +8,12 @@ package cobra
 // simulation loops follow at the bottom.
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/repro/cobra/internal/bips"
 	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/experiments"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/sim"
@@ -141,3 +143,142 @@ func BenchmarkSerialisedBIPSRound(b *testing.B) {
 }
 
 func BenchmarkE14Concentration(b *testing.B) { benchExperiment(b, experiments.E14Concentration) }
+
+// --- Adaptive frontier-engine micro-benchmarks ---
+//
+// Sparse vs dense vs adaptive rounds on ≥10^5-vertex workloads across the
+// families the engine targets: a circulant expander stand-in, a 2-d grid,
+// and the two scale-free generators. These measure the representation
+// crossover the Adaptive mode is built on (see internal/engine): wide
+// frontiers should favour the dense word scan, near-empty frontiers the
+// sparse slice. Worker count is pinned to 1 so the numbers isolate the
+// representation, not goroutine scaling.
+
+var (
+	engineBenchOnce   sync.Once
+	engineBenchGraphs map[string]*graph.Graph
+)
+
+func engineBenchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		ba, err := graph.BarabasiAlbert(200_000, 3, xrand.New(1))
+		if err != nil {
+			panic(err)
+		}
+		ws, err := graph.WattsStrogatz(200_000, 6, 0.1, xrand.New(2))
+		if err != nil {
+			panic(err)
+		}
+		engineBenchGraphs = map[string]*graph.Graph{
+			"expander": graph.Chord(200_000, 4), // 8-regular circulant
+			"grid":     graph.Grid(450, 450),    // n = 202500
+			"ba":       ba,
+			"ws":       ws,
+		}
+	})
+	return engineBenchGraphs[name]
+}
+
+var engineBenchModes = []struct {
+	name string
+	mode engine.Mode
+}{
+	{"sparse", engine.ForceSparse},
+	{"dense", engine.ForceDense},
+	{"adaptive", engine.Adaptive},
+}
+
+// BenchmarkEngineCobraWide measures one fully-active COBRA round — the
+// wide-frontier regime where the dense word scan should win.
+func BenchmarkEngineCobraWide(b *testing.B) {
+	for _, gname := range []string{"expander", "grid", "ba", "ws"} {
+		g := engineBenchGraph(b, gname)
+		all := make([]int, g.N())
+		for i := range all {
+			all[i] = i
+		}
+		for _, m := range engineBenchModes {
+			b.Run(gname+"/"+m.name, func(b *testing.B) {
+				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, all, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineCobraNarrow measures the b = 1 single-particle round —
+// the narrow-frontier regime where the sparse slice avoids every Θ(n)
+// touch and the dense scan pays the full word sweep for one vertex.
+func BenchmarkEngineCobraNarrow(b *testing.B) {
+	g := engineBenchGraph(b, "expander")
+	for _, m := range engineBenchModes {
+		b.Run("expander/"+m.name, func(b *testing.B) {
+			k, err := engine.NewCobra(g, engine.Params{Branch: 1, Mode: m.mode, Workers: 1}, []int{0}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBipsWide measures one BIPS round from a fully-infected
+// frontier: the sparse path must stamp the whole edge set to build its
+// candidate list, while the dense path is the paper's flat Θ(n·b) scan —
+// the regime motivating the adaptive switch.
+func BenchmarkEngineBipsWide(b *testing.B) {
+	for _, gname := range []string{"expander", "ws"} {
+		g := engineBenchGraph(b, gname)
+		all := make([]int, g.N())
+		for i := range all {
+			all[i] = i
+		}
+		for _, m := range engineBenchModes {
+			b.Run(gname+"/"+m.name, func(b *testing.B) {
+				k, err := engine.NewBips(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				k.InstallFrontier(all)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineCoverAdaptive runs a full COBRA cover on a 10^5-vertex
+// expander in each mode: end to end, the adaptive engine should match or
+// beat both forced modes because a cover passes through both regimes.
+func BenchmarkEngineCoverAdaptive(b *testing.B) {
+	g := engineBenchGraph(b, "expander")
+	for _, m := range engineBenchModes {
+		b.Run("expander/"+m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, []int{0}, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for !k.Complete() {
+					k.Step()
+				}
+			}
+		})
+	}
+}

@@ -113,6 +113,20 @@ func RandomTree(n int, seed uint64) (*Graph, error) {
 	return graph.RandomTree(n, xrand.New(seed))
 }
 
+// BarabasiAlbert samples a preferential-attachment graph on n vertices
+// with m attachments per new vertex: connected, heavy-tailed degrees,
+// cheap to generate at 10^5–10^6-vertex scale.
+func BarabasiAlbert(n, m int, seed uint64) (*Graph, error) {
+	return graph.BarabasiAlbert(n, m, xrand.New(seed))
+}
+
+// WattsStrogatz samples a connected small-world graph: the ring lattice
+// C_n(1..k/2) with each edge rewired to a random endpoint with
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
+	return graph.WattsStrogatz(n, k, beta, xrand.New(seed))
+}
+
 // --- COBRA ---
 
 // Process is a stepwise COBRA simulation; create with NewProcess.

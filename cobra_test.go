@@ -59,6 +59,14 @@ func TestFacadeRandomGenerators(t *testing.T) {
 	if err != nil || tr.M() != 19 {
 		t.Fatal("RandomTree wrong")
 	}
+	ba, err := BarabasiAlbert(200, 3, 9)
+	if err != nil || ba.N() != 200 || ba.M() != (200-3)*3 || !ba.IsConnected() {
+		t.Fatalf("BarabasiAlbert wrong: %v err %v", ba, err)
+	}
+	ws, err := WattsStrogatz(200, 4, 0.1, 11)
+	if err != nil || ws.N() != 200 || !ws.IsConnected() {
+		t.Fatalf("WattsStrogatz wrong: %v err %v", ws, err)
+	}
 }
 
 func TestFacadeProcessStepwise(t *testing.T) {

@@ -31,14 +31,45 @@
 //     and multiple random-walk baselines, and push gossip.
 //   - Graph generators for the families in the paper's theorems and
 //     examples (complete, cycles, paths, grids, tori, hypercubes, trees,
-//     lollipops, barbells, random regular, Erdős–Rényi, ...), with exact
-//     structural and spectral properties (diameter, bipartiteness, second
-//     eigenvalue, conductance).
+//     lollipops, barbells, random regular, Erdős–Rényi, ...) plus
+//     scalable random families for engine-scale workloads
+//     (Barabási–Albert preferential attachment, Watts–Strogatz small
+//     world), with exact structural and spectral properties (diameter,
+//     bipartiteness, second eigenvalue, conductance).
 //   - A pathwise checker for the COBRA–BIPS duality and statistics
 //     helpers for scaling-shape analysis.
 //
 // Everything in this package is a thin facade over the internal
 // implementation packages; the facade is the supported API surface.
+//
+// # Determinism contract
+//
+// All four round paths — COBRA and BIPS, serial and parallel — run on one
+// shared frontier kernel (internal/engine). The randomness of every
+// (round, vertex) pair derives from the run's master seed through a
+// stateless stream hash, so a trajectory is a pure function of that seed:
+// independent of worker count, of goroutine scheduling, and of the
+// sparse/dense frontier representation the kernel picks per round. The
+// serial constructors draw the master seed as one Uint64 from the RNG you
+// pass; the parallel constructors take it directly. Identical seeds give
+// identical per-round sets, cover times, infection traces, and
+// transmission counts on every engine.
+//
+// # Performance notes
+//
+// The kernel switches representation per round, the direction-optimizing
+// BFS idea applied to branching walks. A sparse round iterates an
+// active-vertex slice and touches O(|frontier|·b) memory (COBRA),
+// respectively O(vol(A_t)) (BIPS); a dense round scans the frontier
+// bitset 64 vertices per word with no member slice at all. Measured on
+// 2·10^5-vertex workloads (BenchmarkEngineCobraWide/-Narrow,
+// BenchmarkEngineBipsWide in bench_test.go): fully-active COBRA rounds
+// run 2–3× faster dense than sparse, fully-infected BIPS rounds 2–4×
+// faster dense, while a single-particle round is ~300× faster sparse.
+// The adaptive defaults — dense when |C_t| > n/8 for COBRA, when
+// vol(A_t) > n for BIPS — sit well inside those crossovers and are not a
+// public knob; the forced modes (internal/engine Params.Mode) exist for
+// the repository's own benchmarks and equivalence tests.
 //
 // # Quick start
 //

@@ -1,0 +1,113 @@
+package cobra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Property-based check of Theorem 1.3 (pathwise COBRA–BIPS duality):
+// for randomised (graph family, Config, starts, target, T, seed) cases,
+// the two sides of CheckDuality — "target hit by COBRA from starts within
+// T rounds" and "starts ∩ A_T ≠ ∅ for BIPS with source target" — must be
+// equal on every sample. The case generator is hand-rolled: testing/quick
+// supplies the case seed and everything else derives from it through
+// xrand, so failures replay deterministically.
+
+// dualityCaseGraph draws one graph from a family mix that spans the
+// paper's regimes: dense, ring/path (diameter-bound), bipartite, heavy
+// tail, small world, lattice.
+func dualityCaseGraph(t *testing.T, rng *xrand.RNG) *Graph {
+	t.Helper()
+	switch rng.Intn(9) {
+	case 0:
+		return Complete(8 + rng.Intn(25))
+	case 1:
+		return Cycle(5 + rng.Intn(40))
+	case 2:
+		return Path(4 + rng.Intn(30))
+	case 3:
+		return Star(5 + rng.Intn(30))
+	case 4:
+		return Hypercube(3 + rng.Intn(3))
+	case 5:
+		return Grid(3+rng.Intn(4), 3+rng.Intn(4))
+	case 6:
+		g, err := BarabasiAlbert(30+rng.Intn(70), 2+rng.Intn(3), rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 7:
+		g, err := WattsStrogatz(30+rng.Intn(70), 4, 0.2, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	default:
+		return Petersen()
+	}
+}
+
+// dualityCaseConfig draws a process variant; the duality holds for every
+// branching factor b = Branch + Rho, lazy or not.
+func dualityCaseConfig(rng *xrand.RNG) Config {
+	cfg := Config{Branch: 1 + rng.Intn(3)}
+	if rng.Bool() {
+		cfg.Rho = float64(rng.Intn(4)) * 0.25
+	}
+	cfg.Lazy = rng.Bool()
+	return cfg
+}
+
+func TestCheckDualityPropertyRandomised(t *testing.T) {
+	f := func(caseSeed uint64) bool {
+		rng := xrand.New(caseSeed)
+		g := dualityCaseGraph(t, rng)
+		cfg := dualityCaseConfig(rng)
+		n := g.N()
+		starts := make([]int, 1+rng.Intn(4))
+		for i := range starts {
+			starts[i] = rng.Intn(n)
+		}
+		target := rng.Intn(n)
+		T := rng.Intn(13)
+		hit, meet, err := CheckDuality(g, cfg, starts, target, T, rng.Uint64())
+		if err != nil {
+			t.Logf("caseSeed %d: CheckDuality error: %v", caseSeed, err)
+			return false
+		}
+		if hit != meet {
+			t.Logf("caseSeed %d: duality violated on %s cfg %+v starts %v target %d T %d",
+				caseSeed, g.Name(), cfg, starts, target, T)
+		}
+		return hit == meet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The duality must also hold at T = 0 (membership of C_0 itself) and on
+// the degenerate single-vertex start = target case — the boundary rows of
+// the proof's induction.
+func TestCheckDualityBoundaryCases(t *testing.T) {
+	g := Cycle(9)
+	for seed := uint64(0); seed < 20; seed++ {
+		hit, meet, err := CheckDuality(g, DefaultConfig(), []int{4}, 4, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit || !meet {
+			t.Fatalf("seed %d: start = target at T = 0 must hit on both sides", seed)
+		}
+		hit, meet, err = CheckDuality(g, DefaultConfig(), []int{0}, 4, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit || meet {
+			t.Fatalf("seed %d: disjoint start/target at T = 0 must miss on both sides", seed)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/repro/cobra
+
+go 1.21

@@ -14,6 +14,14 @@
 // *serialisation* of a round into per-vertex steps over the candidate set
 // C_t = (N(A) ∪ {v}) \ Bfix, exposing the super-martingale increments Y_l
 // of Section 3 for direct empirical verification.
+//
+// Since the internal/engine refactor, the plain round of both Process and
+// ParallelProcess runs on the shared adaptive frontier kernel: early
+// rounds evaluate only the candidate neighbourhood of the infected set
+// (Θ(vol(A_t)) work), wide rounds fall back to the paper's flat Θ(n·b)
+// scan, and the trajectory is a pure function of the master seed (for
+// Process, one Uint64 drawn from the supplied RNG), independent of worker
+// count and representation.
 package bips
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 
 	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/xrand"
 )
@@ -79,84 +88,79 @@ func (c Config) maxRounds(n int) int {
 	return 64*n*lg + 64
 }
 
-// Process is a single BIPS run. Not safe for concurrent use.
+// engineParams maps the configuration onto the shared kernel.
+func (c Config) engineParams(workers int) engine.Params {
+	return engine.Params{Branch: c.Branch, Rho: c.Rho, Lazy: c.Lazy, Workers: workers}
+}
+
+// translateEngineErr maps kernel errors onto this package's exported
+// error values. Connectivity is checked only inside the kernel (one
+// O(n+m) traversal per construction); config and source problems are
+// pre-validated by the constructors, so the kernel cannot surface them.
+func translateEngineErr(err error) error {
+	if errors.Is(err, engine.ErrDisconnected) {
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	return err
+}
+
+// Process is a single BIPS run on the serial path of the shared frontier
+// kernel. Not safe for concurrent use.
 type Process struct {
 	g      *graph.Graph
 	cfg    Config
-	rng    *xrand.RNG
+	rng    *xrand.RNG // feeds SerialRound's per-step draws only
 	source int
-
-	cur   *bitset.Set // A_t
-	next  *bitset.Set
-	round int
-	nInf  int // cached |A_t|
+	k      *engine.Kernel
 }
 
-// New creates a BIPS process with the given persistent source.
+// New creates a BIPS process with the given persistent source. The plain
+// rounds' master seed is one Uint64 drawn from rng at construction; rng
+// additionally feeds SerialRound's per-step decisions.
 func New(g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (*Process, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if !g.IsConnected() {
-		return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
-	}
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("%w: %d", ErrSource, source)
 	}
-	p := &Process{
-		g:      g,
-		cfg:    cfg,
-		rng:    rng,
-		source: source,
-		cur:    bitset.New(g.N()),
-		next:   bitset.New(g.N()),
+	k, err := engine.NewBips(g, cfg.engineParams(1), source, rng.Uint64())
+	if err != nil {
+		return nil, translateEngineErr(err)
 	}
-	p.cur.Set(source)
-	p.nInf = 1
-	return p, nil
+	return &Process{g: g, cfg: cfg, rng: rng, source: source, k: k}, nil
 }
 
 // Round returns the number of completed rounds t.
-func (p *Process) Round() int { return p.round }
+func (p *Process) Round() int { return p.k.Round() }
 
 // Source returns the persistent source vertex.
 func (p *Process) Source() int { return p.source }
 
 // Infected returns the live infected set A_t (read-only).
-func (p *Process) Infected() *bitset.Set { return p.cur }
+func (p *Process) Infected() *bitset.Set { return p.k.Frontier() }
 
 // InfectedCount returns |A_t|.
-func (p *Process) InfectedCount() int { return p.nInf }
+func (p *Process) InfectedCount() int { return p.k.FrontierCount() }
 
 // Complete reports whether A_t = V.
-func (p *Process) Complete() bool { return p.nInf == p.g.N() }
+func (p *Process) Complete() bool { return p.k.Complete() }
 
 // Step advances the process one round using the plain (parallel-decision)
 // dynamics. Unlike COBRA's informed set, |A_t| may shrink: vertices other
 // than the source refresh their state every round.
-func (p *Process) Step() {
-	n := p.g.N()
-	p.next.Reset()
-	count := 0
-	for u := 0; u < n; u++ {
-		if u == p.source || p.sampleInfected(u) {
-			p.next.Set(u)
-			count++
-		}
-	}
-	p.cur, p.next = p.next, p.cur
-	p.nInf = count
-	p.round++
-}
+func (p *Process) Step() { p.k.Step() }
 
-// sampleInfected draws u's selections and reports whether any lies in the
-// current infected set.
+// sampleInfected draws u's selections from the process's own RNG and
+// reports whether any lies in the current infected set; the sampling path
+// of the serialised round decomposition.
 func (p *Process) sampleInfected(u int) bool {
 	b := p.cfg.Branch
 	if p.cfg.Rho > 0 && p.rng.Bernoulli(p.cfg.Rho) {
 		b++
 	}
 	deg := p.g.Degree(u)
+	cur := p.k.Frontier()
 	for k := 0; k < b; k++ {
 		var pick int
 		if p.cfg.Lazy && p.rng.Bool() {
@@ -164,7 +168,7 @@ func (p *Process) sampleInfected(u int) bool {
 		} else {
 			pick = p.g.Neighbor(u, p.rng.Intn(deg))
 		}
-		if p.cur.Contains(pick) {
+		if cur.Contains(pick) {
 			return true
 		}
 	}
@@ -176,12 +180,12 @@ func (p *Process) sampleInfected(u int) bool {
 func (p *Process) Run() (int, error) {
 	limit := p.cfg.maxRounds(p.g.N())
 	for !p.Complete() {
-		if p.round >= limit {
-			return p.round, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, p.g.Name())
+		if p.Round() >= limit {
+			return p.Round(), fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.Round(), p.g.Name())
 		}
 		p.Step()
 	}
-	return p.round, nil
+	return p.Round(), nil
 }
 
 // InfectionTime runs one BIPS trial and returns infec(source).
@@ -214,13 +218,13 @@ func Trace(g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (*RoundTrace,
 	tr.InfectedSize = append(tr.InfectedSize, 1)
 	tr.CandidateSize = append(tr.CandidateSize, 0)
 	limit := cfg.maxRounds(g.N())
-	for !p.Complete() && p.round < limit {
-		tr.CandidateSize = append(tr.CandidateSize, candidateCount(g, p.cur, p.source))
+	for !p.Complete() && p.Round() < limit {
+		tr.CandidateSize = append(tr.CandidateSize, candidateCount(g, p.Infected(), p.source))
 		p.Step()
-		tr.InfectedSize = append(tr.InfectedSize, p.nInf)
+		tr.InfectedSize = append(tr.InfectedSize, p.InfectedCount())
 	}
 	if p.Complete() {
-		tr.CompleteRound = p.round
+		tr.CompleteRound = p.Round()
 	}
 	return tr, nil
 }

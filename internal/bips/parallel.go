@@ -1,33 +1,22 @@
 package bips
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
-	"github.com/repro/cobra/internal/xrand"
 )
 
 // ParallelProcess is a BIPS engine that evaluates each round across
-// worker goroutines. A BIPS round is Θ(n·b) work regardless of infection
-// size (every vertex re-samples), so rounds parallelise well on large
-// graphs. Randomness for each (round, vertex) pair derives from the
-// master seed with a stateless stream hash, making the trajectory
-// independent of scheduling and worker count, exactly as in
-// core.ParallelProcess.
+// worker goroutines via the shared adaptive frontier kernel. Randomness
+// for each (round, vertex) pair derives from the master seed with a
+// stateless stream hash, making the trajectory independent of scheduling,
+// worker count, and the kernel's sparse/dense representation, exactly as
+// in core.ParallelProcess — and identical to a serial Process whose RNG
+// yields the same master seed.
 type ParallelProcess struct {
-	g       *graph.Graph
-	cfg     Config
-	seed    uint64
-	source  int
-	workers int
-
-	cur   *bitset.Set
-	next  *bitset.Atomic
-	snap  *bitset.Set
-	round int
-	nInf  int
+	g   *graph.Graph
+	cfg Config
+	k   *engine.Kernel
 }
 
 // NewParallel creates a deterministic parallel BIPS process. workers <= 0
@@ -36,109 +25,39 @@ func NewParallel(g *graph.Graph, cfg Config, source int, seed uint64, workers in
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if !g.IsConnected() {
-		return nil, ErrDisconnected
-	}
 	if source < 0 || source >= g.N() {
 		return nil, ErrSource
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	k, err := engine.NewBips(g, cfg.engineParams(workers), source, seed)
+	if err != nil {
+		return nil, translateEngineErr(err)
 	}
-	p := &ParallelProcess{
-		g:       g,
-		cfg:     cfg,
-		seed:    seed,
-		source:  source,
-		workers: workers,
-		cur:     bitset.New(g.N()),
-		next:    bitset.NewAtomic(g.N()),
-		snap:    bitset.New(g.N()),
-	}
-	p.cur.Set(source)
-	p.nInf = 1
-	return p, nil
+	return &ParallelProcess{g: g, cfg: cfg, k: k}, nil
 }
 
 // Round returns the number of completed rounds.
-func (p *ParallelProcess) Round() int { return p.round }
+func (p *ParallelProcess) Round() int { return p.k.Round() }
 
 // InfectedCount returns |A_t|.
-func (p *ParallelProcess) InfectedCount() int { return p.nInf }
+func (p *ParallelProcess) InfectedCount() int { return p.k.FrontierCount() }
 
 // Infected returns the live infected set (read-only).
-func (p *ParallelProcess) Infected() *bitset.Set { return p.cur }
+func (p *ParallelProcess) Infected() *bitset.Set { return p.k.Frontier() }
 
 // Complete reports whether A_t = V.
-func (p *ParallelProcess) Complete() bool { return p.nInf == p.g.N() }
+func (p *ParallelProcess) Complete() bool { return p.k.Complete() }
 
 // Step advances one round, fanning vertex decisions across workers.
-func (p *ParallelProcess) Step() {
-	n := p.g.N()
-	p.next.Reset()
-	nw := p.workers
-	if n < 4*nw {
-		nw = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				if u == p.source || p.sampleInfectedHashed(u) {
-					p.next.Set(u)
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	p.next.Snapshot(p.snap)
-	p.cur.CopyFrom(p.snap)
-	p.round++
-	p.nInf = p.cur.Count()
-}
-
-// sampleInfectedHashed mirrors Process.sampleInfected with per-(round,
-// vertex) hashed streams.
-func (p *ParallelProcess) sampleInfectedHashed(u int) bool {
-	rng := xrand.NewStream(p.seed, uint64(p.round)<<32|uint64(uint32(u)))
-	b := p.cfg.Branch
-	if p.cfg.Rho > 0 && rng.Bernoulli(p.cfg.Rho) {
-		b++
-	}
-	deg := p.g.Degree(u)
-	for k := 0; k < b; k++ {
-		var pick int
-		if p.cfg.Lazy && rng.Bool() {
-			pick = u
-		} else {
-			pick = p.g.Neighbor(u, rng.Intn(deg))
-		}
-		if p.cur.Contains(pick) {
-			return true
-		}
-	}
-	return false
-}
+func (p *ParallelProcess) Step() { p.k.Step() }
 
 // Run advances until full infection or the round cap.
 func (p *ParallelProcess) Run() (int, error) {
 	limit := p.cfg.maxRounds(p.g.N())
 	for !p.Complete() {
-		if p.round >= limit {
-			return p.round, ErrRoundLimit
+		if p.Round() >= limit {
+			return p.Round(), ErrRoundLimit
 		}
 		p.Step()
 	}
-	return p.round, nil
+	return p.Round(), nil
 }

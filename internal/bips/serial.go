@@ -60,21 +60,20 @@ func (p *Process) SerialRound() ([]Step, error) {
 			ErrConfig, p.cfg.Branch, p.cfg.Rho)
 	}
 	n := p.g.N()
-	p.next.Reset()
-	count := 0
+	cur := p.k.Frontier()
+	next := make([]int, 0, p.InfectedCount()+8)
 	var steps []Step
 	for u := 0; u < n; u++ {
 		deg := p.g.Degree(u)
 		dA := 0
 		for _, w := range p.g.Neighbors(u) {
-			if p.cur.Contains(int(w)) {
+			if cur.Contains(int(w)) {
 				dA++
 			}
 		}
 		if dA == deg {
 			// u ∈ Bfix: infected deterministically, not a step.
-			p.next.Set(u)
-			count++
+			next = append(next, u)
 			continue
 		}
 		if dA == 0 && u != p.source {
@@ -96,14 +95,13 @@ func (p *Process) SerialRound() ([]Step, error) {
 			st.ExpectedY = p.expectedY(deg, dA)
 		}
 		if st.Infected {
-			p.next.Set(u)
-			count++
+			next = append(next, u)
 		}
 		steps = append(steps, st)
 	}
-	p.cur, p.next = p.next, p.cur
-	p.nInf = count
-	p.round++
+	// Hand the serialised round's outcome back to the kernel, which
+	// advances the round counter exactly as a plain Step would.
+	p.k.InstallFrontier(next)
 	return steps, nil
 }
 
@@ -134,16 +132,14 @@ func (c Config) MartingaleFloor() float64 {
 // DegreeOfInfected returns d(A_t) = Σ_{u ∈ A_t} d(u), the quantity whose
 // growth Section 3 tracks (equation (14)).
 func (p *Process) DegreeOfInfected() int {
-	sum := 0
-	p.cur.ForEach(func(u int) { sum += p.g.Degree(u) })
-	return sum
+	return p.k.FrontierVolume()
 }
 
 // CandidateCount returns |C_t| for the upcoming round, the set bounded
 // below by Corollary 5.2 (|C| >= |A|(1−λ)/2 while |A| <= n/2 on regular
 // graphs).
 func (p *Process) CandidateCount() int {
-	return candidateCount(p.g, p.cur, p.source)
+	return candidateCount(p.g, p.k.Frontier(), p.source)
 }
 
 // TheoremOneBound evaluates the Theorem 1.4 bound shape

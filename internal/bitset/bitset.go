@@ -101,6 +101,30 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Words exposes the backing word array for word-level scans (one bit per
+// item, 64 items per word, LSB = lowest item). The slice aliases the set's
+// storage: callers must treat it as read-only. This is the hook the dense
+// frontier engine uses to iterate wide vertex sets without materialising a
+// member slice.
+func (s *Set) Words() []uint64 { return s.words }
+
+// UnionCount adds every member of other to s and returns the number of
+// items that were newly added (present in other but not previously in s).
+// Capacities must match. This fuses the covered-set fold of a simulation
+// round into a single word scan.
+func (s *Set) UnionCount(other *Set) int {
+	if s.n != other.n {
+		panic("bitset: UnionCount capacity mismatch")
+	}
+	added := 0
+	for i, w := range other.words {
+		old := s.words[i]
+		added += bits.OnesCount64(w &^ old)
+		s.words[i] = old | w
+	}
+	return added
+}
+
 // Union adds every member of other to s. Capacities must match.
 func (s *Set) Union(other *Set) {
 	if s.n != other.n {

@@ -9,6 +9,13 @@
 // the chosen vertices form C_{t+1}. Multiple arrivals at a vertex coalesce
 // — the set semantics make coalescing implicit. The cover time is the
 // number of rounds until the union of all C_t equals V.
+//
+// Since the internal/engine refactor, both the serial Process and the
+// ParallelProcess delegate their round loop to the shared adaptive
+// frontier kernel: the trajectory of a run is a pure function of its
+// master seed (for Process, one Uint64 drawn from the supplied RNG),
+// independent of worker count and of the sparse/dense representation the
+// kernel picks per round.
 package core
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/xrand"
 )
@@ -77,121 +85,83 @@ func (c Config) maxRounds(n int) int {
 	return 64*n*lg + 64
 }
 
-// Process is a single COBRA run. It is not safe for concurrent use; run
-// one Process per goroutine (see internal/sim for the parallel trial
-// harness).
+// engineParams maps the configuration onto the shared kernel.
+func (c Config) engineParams(workers int) engine.Params {
+	return engine.Params{Branch: c.Branch, Rho: c.Rho, Lazy: c.Lazy, Workers: workers}
+}
+
+// translateEngineErr maps kernel errors onto this package's exported
+// error values. Connectivity is checked only inside the kernel (one
+// O(n+m) traversal per construction); config and start-set problems are
+// pre-validated by the constructors, so the kernel cannot surface them.
+func translateEngineErr(err error) error {
+	if errors.Is(err, engine.ErrDisconnected) {
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	return err
+}
+
+// Process is a single COBRA run on the serial (single-goroutine) path of
+// the shared frontier kernel. It is not safe for concurrent use; run one
+// Process per goroutine (see internal/sim for the parallel trial harness).
 type Process struct {
 	g   *graph.Graph
 	cfg Config
-	rng *xrand.RNG
-
-	cur       *bitset.Set // C_t
-	next      *bitset.Set // C_{t+1} under construction
-	covered   *bitset.Set // union of C_0..C_t
-	active    []int       // scratch: members of cur
-	round     int
-	nCov      int // cached covered count
-	sent      int64
-	coalesced int64
+	k   *engine.Kernel
 }
 
 // New creates a COBRA process on g starting from the given set of vertices
-// (C_0 = start). The graph must be connected and start non-empty.
+// (C_0 = start). The graph must be connected and start non-empty. The
+// kernel's master seed is one Uint64 drawn from rng, so the whole
+// trajectory is a pure function of the rng's state at this call.
 func New(g *graph.Graph, cfg Config, start []int, rng *xrand.RNG) (*Process, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if !g.IsConnected() {
-		return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
-	}
 	if len(start) == 0 {
 		return nil, fmt.Errorf("%w: empty C_0", ErrStart)
-	}
-	p := &Process{
-		g:       g,
-		cfg:     cfg,
-		rng:     rng,
-		cur:     bitset.New(g.N()),
-		next:    bitset.New(g.N()),
-		covered: bitset.New(g.N()),
-		active:  make([]int, 0, g.N()),
 	}
 	for _, v := range start {
 		if v < 0 || v >= g.N() {
 			return nil, fmt.Errorf("%w: vertex %d out of range", ErrStart, v)
 		}
-		if !p.cur.Contains(v) {
-			p.cur.Set(v)
-			p.covered.Set(v)
-			p.nCov++
-		}
 	}
-	return p, nil
+	k, err := engine.NewCobra(g, cfg.engineParams(1), start, rng.Uint64())
+	if err != nil {
+		return nil, translateEngineErr(err)
+	}
+	return &Process{g: g, cfg: cfg, k: k}, nil
 }
 
 // Round returns the number of completed rounds t.
-func (p *Process) Round() int { return p.round }
+func (p *Process) Round() int { return p.k.Round() }
 
 // Current returns the current set C_t. The returned set is live; do not
 // modify it.
-func (p *Process) Current() *bitset.Set { return p.cur }
+func (p *Process) Current() *bitset.Set { return p.k.Frontier() }
 
 // Covered returns the cumulative visited set ∪ C_0..C_t (live; read-only).
-func (p *Process) Covered() *bitset.Set { return p.covered }
+func (p *Process) Covered() *bitset.Set { return p.k.Covered() }
 
 // CoveredCount returns |∪ C_0..C_t| without a popcount scan.
-func (p *Process) CoveredCount() int { return p.nCov }
+func (p *Process) CoveredCount() int { return p.k.CoveredCount() }
 
 // Complete reports whether every vertex has been visited.
-func (p *Process) Complete() bool { return p.nCov == p.g.N() }
+func (p *Process) Complete() bool { return p.k.Complete() }
 
 // Transmissions returns the total number of messages (particle moves) sent
 // so far; the paper's motivation is bounding these per vertex per round.
-func (p *Process) Transmissions() int64 { return p.sent }
+func (p *Process) Transmissions() int64 { return p.k.Sent() }
 
 // Coalesced returns the total number of particle coalescences so far:
 // arrivals that landed on a vertex already receiving a particle in the
 // same round (the "CO" in COBRA). It always equals
 // Transmissions() − Σ_{t>=1} |C_t|.
-func (p *Process) Coalesced() int64 { return p.coalesced }
+func (p *Process) Coalesced() int64 { return p.k.Coalesced() }
 
 // Step advances the process by one round: every vertex of C_t pushes to b
 // random neighbours (with replacement), forming C_{t+1}.
-func (p *Process) Step() {
-	p.active = p.cur.Members(p.active[:0])
-	p.next.Reset()
-	sentBefore := p.sent
-	for _, v := range p.active {
-		p.pushFrom(v)
-	}
-	p.coalesced += (p.sent - sentBefore) - int64(p.next.Count())
-	p.cur, p.next = p.next, p.cur
-	p.round++
-	// Fold the new set into the cover set, updating the cached count.
-	for _, w := range p.cur.Members(p.active[:0]) {
-		if !p.covered.Contains(w) {
-			p.covered.Set(w)
-			p.nCov++
-		}
-	}
-}
-
-// pushFrom sends the configured number of particles from v into next.
-func (p *Process) pushFrom(v int) {
-	b := p.cfg.Branch
-	if p.cfg.Rho > 0 && p.rng.Bernoulli(p.cfg.Rho) {
-		b++
-	}
-	deg := p.g.Degree(v)
-	for k := 0; k < b; k++ {
-		if p.cfg.Lazy && p.rng.Bool() {
-			p.next.Set(v)
-		} else {
-			p.next.Set(p.g.Neighbor(v, p.rng.Intn(deg)))
-		}
-		p.sent++
-	}
-}
+func (p *Process) Step() { p.k.Step() }
 
 // Run advances the process until cover or the round cap and returns the
 // number of rounds to cover. If the cap is hit it returns the cap and
@@ -199,12 +169,12 @@ func (p *Process) pushFrom(v int) {
 func (p *Process) Run() (int, error) {
 	limit := p.cfg.maxRounds(p.g.N())
 	for !p.Complete() {
-		if p.round >= limit {
-			return p.round, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, p.g.Name())
+		if p.Round() >= limit {
+			return p.Round(), fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.Round(), p.g.Name())
 		}
 		p.Step()
 	}
-	return p.round, nil
+	return p.Round(), nil
 }
 
 // RunUntilHit advances until target is visited (or the cap) and returns
@@ -214,11 +184,11 @@ func (p *Process) RunUntilHit(target int) (int, error) {
 		return 0, fmt.Errorf("%w: target %d out of range", ErrStart, target)
 	}
 	limit := p.cfg.maxRounds(p.g.N())
-	for !p.covered.Contains(target) {
-		if p.round >= limit {
-			return p.round, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, p.g.Name())
+	for !p.Covered().Contains(target) {
+		if p.Round() >= limit {
+			return p.Round(), fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.Round(), p.g.Name())
 		}
 		p.Step()
 	}
-	return p.round, nil
+	return p.Round(), nil
 }

@@ -58,16 +58,16 @@ func Trace(g *graph.Graph, cfg Config, start int, rng *xrand.RNG) (*RoundTrace, 
 		return nil, err
 	}
 	tr := &RoundTrace{CoverRound: -1}
-	tr.ActiveSize = append(tr.ActiveSize, p.cur.Count())
-	tr.CoveredSize = append(tr.CoveredSize, p.nCov)
+	tr.ActiveSize = append(tr.ActiveSize, p.Current().Count())
+	tr.CoveredSize = append(tr.CoveredSize, p.CoveredCount())
 	limit := cfg.maxRounds(g.N())
-	for !p.Complete() && p.round < limit {
+	for !p.Complete() && p.Round() < limit {
 		p.Step()
-		tr.ActiveSize = append(tr.ActiveSize, p.cur.Count())
-		tr.CoveredSize = append(tr.CoveredSize, p.nCov)
+		tr.ActiveSize = append(tr.ActiveSize, p.Current().Count())
+		tr.CoveredSize = append(tr.CoveredSize, p.CoveredCount())
 	}
 	if p.Complete() {
-		tr.CoverRound = p.round
+		tr.CoverRound = p.Round()
 	}
 	return tr, nil
 }
@@ -89,13 +89,13 @@ func HitTimes(g *graph.Graph, cfg Config, start int, rng *xrand.RNG) ([]int, err
 	limit := cfg.maxRounds(g.N())
 	seen := 1
 	for seen < g.N() {
-		if p.round >= limit {
-			return hits, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.round, g.Name())
+		if p.Round() >= limit {
+			return hits, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, p.Round(), g.Name())
 		}
 		p.Step()
-		p.cur.ForEach(func(v int) {
+		p.Current().ForEach(func(v int) {
 			if hits[v] < 0 {
-				hits[v] = p.round
+				hits[v] = p.Round()
 				seen++
 			}
 		})

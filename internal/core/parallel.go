@@ -1,37 +1,27 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
-	"github.com/repro/cobra/internal/xrand"
 )
 
 // ParallelProcess is a COBRA engine that executes each round across
-// multiple goroutines. Determinism is preserved by deriving the randomness
-// of each (round, vertex) pair from the master seed with a stateless
-// stream hash, so results are independent of scheduling and worker count:
-// a ParallelProcess with a given seed always produces the same trajectory.
+// multiple goroutines via the shared adaptive frontier kernel. Determinism
+// is preserved by deriving the randomness of each (round, vertex) pair
+// from the master seed with a stateless stream hash, so results are
+// independent of scheduling, worker count, and the sparse/dense
+// representation: a ParallelProcess with a given seed always produces the
+// same trajectory — the same trajectory a serial Process produces when its
+// RNG yields the same master seed.
 //
-// This engine pays per-vertex stream setup, so it only outperforms the
-// serial Process when rounds are wide (large active sets on large graphs).
-// The ablation bench BenchmarkAblationParallelRound quantifies the
-// crossover.
+// The kernel pays per-vertex stream setup, so extra workers only pay off
+// when rounds are wide (large active sets on large graphs). The ablation
+// bench BenchmarkAblationParallelRound quantifies the crossover.
 type ParallelProcess struct {
-	g       *graph.Graph
-	cfg     Config
-	seed    uint64
-	workers int
-
-	cur     *bitset.Set
-	next    *bitset.Atomic
-	covered *bitset.Set
-	scratch *bitset.Set
-	active  []int
-	round   int
-	nCov    int
+	g   *graph.Graph
+	cfg Config
+	k   *engine.Kernel
 }
 
 // NewParallel creates a deterministic parallel COBRA process. workers <= 0
@@ -40,117 +30,44 @@ func NewParallel(g *graph.Graph, cfg Config, start []int, seed uint64, workers i
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if !g.IsConnected() {
-		return nil, ErrDisconnected
-	}
 	if len(start) == 0 {
 		return nil, ErrStart
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	p := &ParallelProcess{
-		g:       g,
-		cfg:     cfg,
-		seed:    seed,
-		workers: workers,
-		cur:     bitset.New(g.N()),
-		next:    bitset.NewAtomic(g.N()),
-		covered: bitset.New(g.N()),
-		scratch: bitset.New(g.N()),
 	}
 	for _, v := range start {
 		if v < 0 || v >= g.N() {
 			return nil, ErrStart
 		}
-		if !p.cur.Contains(v) {
-			p.cur.Set(v)
-			p.covered.Set(v)
-			p.nCov++
-		}
 	}
-	return p, nil
+	k, err := engine.NewCobra(g, cfg.engineParams(workers), start, seed)
+	if err != nil {
+		return nil, translateEngineErr(err)
+	}
+	return &ParallelProcess{g: g, cfg: cfg, k: k}, nil
 }
 
 // Round returns the number of completed rounds.
-func (p *ParallelProcess) Round() int { return p.round }
+func (p *ParallelProcess) Round() int { return p.k.Round() }
 
 // CoveredCount returns the number of visited vertices.
-func (p *ParallelProcess) CoveredCount() int { return p.nCov }
+func (p *ParallelProcess) CoveredCount() int { return p.k.CoveredCount() }
 
 // Complete reports whether the graph is covered.
-func (p *ParallelProcess) Complete() bool { return p.nCov == p.g.N() }
+func (p *ParallelProcess) Complete() bool { return p.k.Complete() }
 
 // Current returns the live current set (read-only).
-func (p *ParallelProcess) Current() *bitset.Set { return p.cur }
+func (p *ParallelProcess) Current() *bitset.Set { return p.k.Frontier() }
 
 // Step advances one round, fanning the active set across workers.
-func (p *ParallelProcess) Step() {
-	p.active = p.cur.Members(p.active[:0])
-	p.next.Reset()
-
-	nw := p.workers
-	if len(p.active) < 4*nw {
-		nw = 1 // tiny rounds: goroutine overhead dominates
-	}
-	var wg sync.WaitGroup
-	chunk := (len(p.active) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		if lo >= len(p.active) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(p.active) {
-			hi = len(p.active)
-		}
-		wg.Add(1)
-		go func(verts []int) {
-			defer wg.Done()
-			for _, v := range verts {
-				p.pushFromHashed(v)
-			}
-		}(p.active[lo:hi])
-	}
-	wg.Wait()
-
-	p.next.Snapshot(p.scratch)
-	p.cur.CopyFrom(p.scratch)
-	p.round++
-	for _, w := range p.cur.Members(p.active[:0]) {
-		if !p.covered.Contains(w) {
-			p.covered.Set(w)
-			p.nCov++
-		}
-	}
-}
-
-// pushFromHashed draws v's selections for the current round from a
-// stateless stream keyed by (seed, round, v): scheduling-independent.
-func (p *ParallelProcess) pushFromHashed(v int) {
-	rng := xrand.NewStream(p.seed, uint64(p.round)<<32|uint64(uint32(v)))
-	b := p.cfg.Branch
-	if p.cfg.Rho > 0 && rng.Bernoulli(p.cfg.Rho) {
-		b++
-	}
-	deg := p.g.Degree(v)
-	for k := 0; k < b; k++ {
-		if p.cfg.Lazy && rng.Bool() {
-			p.next.Set(v)
-		} else {
-			p.next.Set(p.g.Neighbor(v, rng.Intn(deg)))
-		}
-	}
-}
+func (p *ParallelProcess) Step() { p.k.Step() }
 
 // Run advances until cover or the round cap.
 func (p *ParallelProcess) Run() (int, error) {
 	limit := p.cfg.maxRounds(p.g.N())
 	for !p.Complete() {
-		if p.round >= limit {
-			return p.round, ErrRoundLimit
+		if p.Round() >= limit {
+			return p.Round(), ErrRoundLimit
 		}
 		p.Step()
 	}
-	return p.round, nil
+	return p.Round(), nil
 }

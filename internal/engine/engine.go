@@ -1,0 +1,418 @@
+// Package engine implements the unified adaptive frontier kernel shared by
+// the COBRA walk (internal/core) and its BIPS epidemic dual (internal/bips).
+//
+// Both processes are frontier processes: each round is generated from the
+// current active vertex set. COBRA pushes b particles from every active
+// vertex; BIPS re-samples every vertex and keeps those that pull from an
+// infected neighbour. The kernel runs one round in one of two
+// representations and, in Adaptive mode, picks per round — the
+// direction-optimizing-BFS idea applied to branching walks:
+//
+//   - Sparse: the frontier is an active-vertex slice. Next-frontier
+//     deduplication uses a generation-stamped array, so a round touches
+//     only O(|frontier|·b) memory (COBRA), respectively O(vol(frontier))
+//     (BIPS candidate construction) — no Θ(n) scans or bitset resets.
+//     This is the winning shape while the frontier is a small fraction of
+//     the graph (early rounds, b = 1 walks, long sparse tails).
+//   - Dense: the frontier lives in its bitset and rounds are word-level
+//     scans: 64 vertices per fetched word, with the per-word fetch hoisted
+//     out of the per-vertex draw loop, and no member slice is ever
+//     materialised. This wins once the frontier spans a constant fraction
+//     of the graph (wide mid-phase rounds on expanders and the scale-free
+//     families), where the sparse slice and stamp traffic costs more than
+//     scanning n/64 words.
+//
+// Determinism contract: the randomness of every (round, vertex) pair is
+// drawn from a stateless stream keyed by the master seed,
+// xrand.NewStream(seed, round<<32|vertex). A vertex's decisions in a round
+// are therefore a pure function of (seed, round, vertex, frontier), so the
+// trajectory — every per-round frontier set and derived statistic — is
+// identical across representations (sparse, dense, adaptive) and across
+// any number of workers, including the serial path. It depends only on
+// the seed. This keying is byte-compatible with the pre-engine parallel
+// processes, whose trajectories it preserves exactly.
+//
+// The crossover defaults (|C_t| > n/8 for COBRA, vol(A_t) > n for BIPS)
+// come from the bench_test.go micro-benchmarks BenchmarkEngineCobraWide /
+// BenchmarkEngineBipsWide; see doc.go ("Performance notes") for guidance.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"github.com/repro/cobra/internal/bitset"
+	"github.com/repro/cobra/internal/graph"
+)
+
+// Errors returned by the kernel constructors.
+var (
+	ErrConfig       = errors.New("engine: invalid configuration")
+	ErrDisconnected = errors.New("engine: graph must be connected")
+	ErrStart        = errors.New("engine: invalid start set")
+)
+
+// Kind selects the frontier process the kernel simulates.
+type Kind int
+
+const (
+	// Cobra is the coalescing-branching random walk: every frontier
+	// vertex pushes b particles to random neighbours; the targets form
+	// the next frontier and accumulate into the covered set.
+	Cobra Kind = iota
+	// Bips is the epidemic dual: every vertex pulls b random neighbours
+	// and joins the next frontier iff one is currently infected; the
+	// persistent source is always infected.
+	Bips
+)
+
+// Mode selects the frontier representation policy.
+type Mode int
+
+const (
+	// Adaptive switches between sparse and dense per round on the
+	// measured crossover; the default and the recommended setting.
+	Adaptive Mode = iota
+	// ForceSparse always uses the active-slice representation.
+	ForceSparse
+	// ForceDense always uses the word-scan representation.
+	ForceDense
+)
+
+// DefaultDenseDiv is the COBRA crossover divisor: a round goes dense when
+// |frontier| > n/DefaultDenseDiv.
+const DefaultDenseDiv = 8
+
+// Params configures a kernel. Branch/Rho/Lazy have the meaning shared by
+// the core and bips packages (the duality requires them to match).
+type Params struct {
+	// Branch is the integer branching factor b >= 1.
+	Branch int
+	// Rho adds a fractional extra branch with probability Rho ∈ [0, 1].
+	Rho float64
+	// Lazy makes each selection stay at the sampling vertex with
+	// probability 1/2.
+	Lazy bool
+	// Mode picks the representation policy (default Adaptive).
+	Mode Mode
+	// Workers bounds round-level parallelism: 1 keeps every round on the
+	// calling goroutine; <= 0 selects GOMAXPROCS. Worker count never
+	// affects the trajectory, only wall-clock time.
+	Workers int
+	// DenseDiv overrides the COBRA sparse→dense crossover (dense when
+	// |frontier|·DenseDiv > n); 0 selects DefaultDenseDiv.
+	DenseDiv int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Branch < 1 {
+		return fmt.Errorf("%w: Branch must be >= 1, got %d", ErrConfig, p.Branch)
+	}
+	if p.Rho < 0 || p.Rho > 1 {
+		return fmt.Errorf("%w: Rho must be in [0,1], got %v", ErrConfig, p.Rho)
+	}
+	if p.DenseDiv < 0 {
+		return fmt.Errorf("%w: DenseDiv must be >= 0, got %d", ErrConfig, p.DenseDiv)
+	}
+	return nil
+}
+
+// Kernel is one frontier simulation. It is not safe for concurrent use by
+// multiple goroutines (its own workers synchronise internally).
+type Kernel struct {
+	g        *graph.Graph
+	kind     Kind
+	par      Params
+	seed     uint64
+	source   int // Bips only
+	workers  int
+	denseDiv int
+
+	// Frontier state. cur is always authoritative; curList mirrors it
+	// when curListOK (maintained by sparse rounds, rebuilt on demand).
+	cur         *bitset.Set
+	curList     []int32
+	curListOK   bool
+	frontierN   int
+	frontierVol int // Σ deg(v) over the frontier; see FrontierVolume
+
+	// Cobra-only cumulative state.
+	covered   *bitset.Set
+	nCov      int
+	sent      int64
+	coalesced int64
+
+	round int
+
+	// Round scratch.
+	nextPlain  *bitset.Set
+	nextAtomic *bitset.Atomic
+	scratch    *bitset.Set
+	stamp      []uint32
+	epoch      uint32
+	newList    []int32
+	candList   []int32
+	bufs       [][]int32
+	sentParts  []int64
+
+	denseRounds  int
+	sparseRounds int
+}
+
+// NewCobra creates a COBRA kernel with initial frontier C_0 = start.
+func NewCobra(g *graph.Graph, par Params, start []int, seed uint64) (*Kernel, error) {
+	k, err := newKernel(g, Cobra, par, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(start) == 0 {
+		return nil, fmt.Errorf("%w: empty C_0", ErrStart)
+	}
+	k.covered = bitset.New(g.N())
+	for _, v := range start {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("%w: vertex %d out of range", ErrStart, v)
+		}
+		if !k.cur.Contains(v) {
+			k.cur.Set(v)
+			k.curList = append(k.curList, int32(v))
+			k.frontierVol += g.Degree(v)
+			k.covered.Set(v)
+			k.nCov++
+		}
+	}
+	k.frontierN = len(k.curList)
+	k.curListOK = true
+	return k, nil
+}
+
+// NewBips creates a BIPS kernel with the given persistent source,
+// A_0 = {source}.
+func NewBips(g *graph.Graph, par Params, source int, seed uint64) (*Kernel, error) {
+	k, err := newKernel(g, Bips, par, seed)
+	if err != nil {
+		return nil, err
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("%w: source %d out of range", ErrStart, source)
+	}
+	k.source = source
+	k.cur.Set(source)
+	k.curList = append(k.curList, int32(source))
+	k.frontierN = 1
+	k.frontierVol = g.Degree(source)
+	k.curListOK = true
+	return k, nil
+}
+
+func newKernel(g *graph.Graph, kind Kind, par Params, seed uint64) (*Kernel, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
+	}
+	workers := par.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	denseDiv := par.DenseDiv
+	if denseDiv == 0 {
+		denseDiv = DefaultDenseDiv
+	}
+	n := g.N()
+	k := &Kernel{
+		g:         g,
+		kind:      kind,
+		par:       par,
+		seed:      seed,
+		workers:   workers,
+		denseDiv:  denseDiv,
+		cur:       bitset.New(n),
+		nextPlain: bitset.New(n),
+		stamp:     make([]uint32, n),
+	}
+	if workers > 1 {
+		k.bufs = make([][]int32, workers)
+		k.sentParts = make([]int64, workers)
+		k.scratch = bitset.New(n)
+		if kind == Cobra {
+			k.nextAtomic = bitset.NewAtomic(n)
+		}
+	}
+	return k, nil
+}
+
+// streamKey is the per-(round, vertex) stream index; identical to the
+// keying of the pre-engine parallel processes, whose trajectories the
+// kernel preserves exactly.
+func streamKey(round, v int) uint64 {
+	return uint64(round)<<32 | uint64(uint32(v))
+}
+
+// Round returns the number of completed rounds t.
+func (k *Kernel) Round() int { return k.round }
+
+// Frontier returns the live current frontier set (C_t for COBRA, A_t for
+// BIPS). Read-only.
+func (k *Kernel) Frontier() *bitset.Set { return k.cur }
+
+// FrontierCount returns |C_t| respectively |A_t| without a popcount scan.
+func (k *Kernel) FrontierCount() int { return k.frontierN }
+
+// FrontierVolume returns Σ_{v ∈ frontier} deg(v) — d(A_t) in the paper's
+// Section 3 notation. It rebuilds the member mirror if a dense COBRA round
+// left it stale.
+func (k *Kernel) FrontierVolume() int {
+	if !k.curListOK {
+		k.ensureList()
+	}
+	return k.frontierVol
+}
+
+// Covered returns the cumulative visited set of a COBRA kernel (nil for
+// BIPS). Read-only.
+func (k *Kernel) Covered() *bitset.Set { return k.covered }
+
+// CoveredCount returns |∪ C_0..C_t| for COBRA kernels.
+func (k *Kernel) CoveredCount() int { return k.nCov }
+
+// Complete reports whether the process finished: full coverage for COBRA,
+// full infection for BIPS.
+func (k *Kernel) Complete() bool {
+	if k.kind == Cobra {
+		return k.nCov == k.g.N()
+	}
+	return k.frontierN == k.g.N()
+}
+
+// Sent returns the cumulative number of particle transmissions of a COBRA
+// kernel (b draws per active vertex per round, plus fractional extras).
+func (k *Kernel) Sent() int64 { return k.sent }
+
+// Coalesced returns the cumulative number of COBRA coalescences:
+// Sent() − Σ_{t>=1} |C_t|.
+func (k *Kernel) Coalesced() int64 { return k.coalesced }
+
+// DenseRounds returns how many completed rounds ran in the dense
+// representation.
+func (k *Kernel) DenseRounds() int { return k.denseRounds }
+
+// SparseRounds returns how many completed rounds ran in the sparse
+// representation.
+func (k *Kernel) SparseRounds() int { return k.sparseRounds }
+
+// InstallFrontier replaces the frontier with the given member set and
+// advances the round counter, as if a Step produced it. This is the hook
+// for externally-serialised rounds (bips.Process.SerialRound), which draw
+// their own randomness; duplicates in members are ignored. For COBRA
+// kernels the members fold into the covered set.
+func (k *Kernel) InstallFrontier(members []int) {
+	if k.curListOK {
+		for _, v := range k.curList {
+			k.cur.Clear(int(v))
+		}
+	} else {
+		k.cur.Reset()
+	}
+	k.curList = k.curList[:0]
+	vol := 0
+	for _, v := range members {
+		if k.cur.Contains(v) {
+			continue
+		}
+		k.cur.Set(v)
+		k.curList = append(k.curList, int32(v))
+		vol += k.g.Degree(v)
+		if k.kind == Cobra && !k.covered.Contains(v) {
+			k.covered.Set(v)
+			k.nCov++
+		}
+	}
+	k.frontierN = len(k.curList)
+	k.frontierVol = vol
+	k.curListOK = true
+	k.round++
+}
+
+// Step advances the kernel by one round in the representation chosen by
+// the mode policy.
+func (k *Kernel) Step() {
+	dense := k.useDense()
+	if dense {
+		k.denseRounds++
+	} else {
+		k.sparseRounds++
+	}
+	switch k.kind {
+	case Cobra:
+		if dense {
+			k.cobraDense()
+		} else {
+			k.cobraSparse()
+		}
+	default:
+		if dense {
+			k.bipsDense()
+		} else {
+			k.bipsSparse()
+		}
+	}
+	k.round++
+}
+
+// useDense applies the representation policy for the upcoming round.
+// COBRA round cost scales with |frontier| in both representations (the
+// dense scan only saves the member-slice traffic), so it crosses over on
+// the frontier fraction. A BIPS sparse round costs Θ(vol(A)) candidate
+// construction versus Θ(n) for the dense scan, so it crosses over when
+// the frontier volume reaches the vertex count.
+func (k *Kernel) useDense() bool {
+	switch k.par.Mode {
+	case ForceSparse:
+		return false
+	case ForceDense:
+		return true
+	}
+	if k.kind == Cobra {
+		return k.frontierN*k.denseDiv > k.g.N()
+	}
+	return k.FrontierVolume() > k.g.N()
+}
+
+// parallelRounds reports how many workers to fan a round of the given
+// item count across; tiny rounds stay serial because goroutine overhead
+// dominates. The answer never affects the trajectory.
+func (k *Kernel) parallelRounds(items int) int {
+	if k.workers <= 1 || items < 2048 {
+		return 1
+	}
+	return k.workers
+}
+
+// ensureList rebuilds the member mirror (and frontier volume) from the
+// authoritative bitset after a dense round invalidated it.
+func (k *Kernel) ensureList() {
+	k.curList = k.curList[:0]
+	vol := 0
+	k.cur.ForEach(func(v int) {
+		k.curList = append(k.curList, int32(v))
+		vol += k.g.Degree(v)
+	})
+	k.frontierVol = vol
+	k.curListOK = true
+}
+
+// bumpEpoch opens a fresh stamp generation, clearing the array only on
+// uint32 wraparound.
+func (k *Kernel) bumpEpoch() {
+	k.epoch++
+	if k.epoch == 0 {
+		for i := range k.stamp {
+			k.stamp[i] = 0
+		}
+		k.epoch = 1
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/repro/cobra/internal/xrand"
 )
 
 // Native fuzz targets. Under plain `go test` the seed corpus runs as
@@ -19,6 +21,21 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n")
 	f.Add("n 2\n0 1\n0 1\n")
 	f.Add("n x\n")
+	// Structured corpus entries from the random-family generators, so the
+	// fuzzer starts from realistic well-formed inputs too (small
+	// Barabási–Albert and Watts–Strogatz samples, deterministic in seed).
+	if ba, err := BarabasiAlbert(12, 2, xrand.New(1)); err == nil {
+		var buf bytes.Buffer
+		if err := ba.WriteEdgeList(&buf); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	if ws, err := WattsStrogatz(14, 4, 0.25, xrand.New(2)); err == nil {
+		var buf bytes.Buffer
+		if err := ws.WriteEdgeList(&buf); err == nil {
+			f.Add(buf.String())
+		}
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input), "fuzz")
 		if err != nil {

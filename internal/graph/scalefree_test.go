@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	const n, m = 4000, 2
+	g, err := BarabasiAlbert(n, m, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	if want := (n - m) * m; g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("builder invariants violated: %v", err)
+	}
+	// Every non-seed vertex attaches to m distinct earlier vertices.
+	for v := m; v < n; v++ {
+		if g.Degree(v) < m {
+			t.Fatalf("vertex %d degree %d < m", v, g.Degree(v))
+		}
+	}
+	// Preferential attachment has a heavy tail: the hub degree must far
+	// exceed the mean 2m (E[dmax] ≈ m·√n ≈ 126 here; 6m = 12 is a safe
+	// floor that a flat-degree family would still fail).
+	if g.MaxDegree() < 6*m {
+		t.Fatalf("max degree %d suspiciously flat for preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDegreeDistributionSkew(t *testing.T) {
+	// Sanity on the power-law shape: in a BA graph most vertices stay at
+	// the minimum degree while a few accumulate large degree. Check that
+	// the median degree is ≤ 1.5·m while the 99.9th percentile is ≥ 5·m.
+	const n, m = 8000, 3
+	g, err := BarabasiAlbert(n, m, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		degs = append(degs, g.Degree(v))
+	}
+	atMostMedian, atLeastTail := 0, 0
+	for _, d := range degs {
+		if d <= 3*m/2 {
+			atMostMedian++
+		}
+		if d >= 5*m {
+			atLeastTail++
+		}
+	}
+	if atMostMedian < n/2 {
+		t.Fatalf("only %d/%d vertices near the minimum degree; body not heavy at the bottom", atMostMedian, n)
+	}
+	if atLeastTail < 3 {
+		t.Fatalf("only %d vertices with degree >= %d; tail too light", atLeastTail, 5*m)
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	const n, k = 600, 6
+	// beta = 0 is the exact ring lattice: k-regular, nk/2 edges.
+	lattice, err := WattsStrogatz(n, k, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg, r := lattice.IsRegular(); !reg || r != k {
+		t.Fatalf("beta=0 lattice not %d-regular", k)
+	}
+	if lattice.M() != n*k/2 {
+		t.Fatalf("beta=0 M = %d, want %d", lattice.M(), n*k/2)
+	}
+	// beta > 0 keeps the shape: connected, ~nk/2 edges (rare rewire
+	// collisions may drop a few), mean degree ~k.
+	g, err := WattsStrogatz(n, k, 0.2, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n || !g.IsConnected() {
+		t.Fatalf("WS(%d,%d,0.2) shape wrong: n=%d connected=%v", n, k, g.N(), g.IsConnected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("builder invariants violated: %v", err)
+	}
+	if g.M() > n*k/2 || g.M() < n*k/2-n*k/50 {
+		t.Fatalf("M = %d outside [%d, %d]", g.M(), n*k/2-n*k/50, n*k/2)
+	}
+	// Rewiring must actually happen: a pure lattice has diameter n/k,
+	// while shortcuts shrink it drastically; cheap proxy — some vertex
+	// gained or lost a lattice neighbour.
+	rewired := false
+	for v := 0; v < n && !rewired; v++ {
+		if g.Degree(v) != k {
+			rewired = true
+		}
+	}
+	if !rewired {
+		t.Fatal("beta=0.2 produced an exact lattice (rewiring never fired?)")
+	}
+}
+
+func TestScaleFreeDeterministicInSeed(t *testing.T) {
+	edgeBytes := func(g *Graph) []byte {
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	baA, err := BarabasiAlbert(500, 3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baB, err := BarabasiAlbert(500, 3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(edgeBytes(baA), edgeBytes(baB)) {
+		t.Fatal("BarabasiAlbert not deterministic in seed")
+	}
+	baC, err := BarabasiAlbert(500, 3, xrand.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(edgeBytes(baA), edgeBytes(baC)) {
+		t.Fatal("BarabasiAlbert ignored the seed")
+	}
+	wsA, err := WattsStrogatz(500, 4, 0.3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsB, err := WattsStrogatz(500, 4, 0.3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(edgeBytes(wsA), edgeBytes(wsB)) {
+		t.Fatal("WattsStrogatz not deterministic in seed")
+	}
+	wsC, err := WattsStrogatz(500, 4, 0.3, xrand.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(edgeBytes(wsA), edgeBytes(wsC)) {
+		t.Fatal("WattsStrogatz ignored the seed")
+	}
+}
+
+func TestScaleFreeRejectBadInputs(t *testing.T) {
+	rng := xrand.New(1)
+	bad := []func() error{
+		func() error { _, err := BarabasiAlbert(5, 0, rng); return err },
+		func() error { _, err := BarabasiAlbert(3, 3, rng); return err },
+		func() error { _, err := WattsStrogatz(10, 3, 0.1, rng); return err }, // odd k
+		func() error { _, err := WattsStrogatz(10, 0, 0.1, rng); return err },
+		func() error { _, err := WattsStrogatz(4, 4, 0.1, rng); return err }, // n <= k
+		func() error { _, err := WattsStrogatz(10, 4, -0.1, rng); return err },
+		func() error { _, err := WattsStrogatz(10, 4, 1.5, rng); return err },
+	}
+	for i, f := range bad {
+		if err := f(); !errors.Is(err, ErrGenerator) {
+			t.Fatalf("case %d: bad input accepted (err = %v)", i, err)
+		}
+	}
+}

@@ -18,6 +18,8 @@
 //	er:500:0.02         connected G(500, 0.02)        (seeded)
 //	rreg:500:3          random 3-regular on 500       (seeded)
 //	rtree:500           uniform random tree           (seeded)
+//	ba:500:3            Barabási–Albert, 3 per vertex (seeded)
+//	ws:500:6:0.1        Watts–Strogatz k=6 beta=0.1   (seeded)
 package graphspec
 
 import (
@@ -197,6 +199,30 @@ func Parse(spec string, seed uint64) (*graph.Graph, error) {
 			return nil, err
 		}
 		return graph.RandomTree(n, xrand.New(seed))
+	case "ba":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.BarabasiAlbert(n, m, xrand.New(seed))
+	case "ws":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		k, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := floatArg(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.WattsStrogatz(n, k, beta, xrand.New(seed))
 	default:
 		return nil, fmt.Errorf("%w: unknown family %q (see package doc for the list)", ErrSpec, name)
 	}

@@ -27,6 +27,8 @@ func TestParseAllFamilies(t *testing.T) {
 		{"er:60:0.15", 60},
 		{"rreg:20:3", 20},
 		{"rtree:25", 25},
+		{"ba:40:3", 40},
+		{"ws:30:4:0.2", 30},
 	}
 	for _, tc := range cases {
 		g, err := Parse(tc.spec, 7)
@@ -53,6 +55,7 @@ func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"", "unknown:5", "complete", "complete:x", "er:50", "er:50:zz",
 		"grid", "lollipop:4", "cycle:2", "hypercube:0", "torus:2:2",
+		"ba:5", "ba:3:3", "ws:30:4", "ws:30:3:0.1", "ws:30:4:raw",
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec, 1); !errors.Is(err, ErrSpec) && err == nil {

@@ -53,9 +53,20 @@ func New(seed uint64) *RNG {
 // Distinct stream indices yield well-separated generators; the mapping is
 // deterministic, so (seed, stream) fully identifies the sequence.
 func NewStream(seed, stream uint64) *RNG {
+	r := StreamValue(seed, stream)
+	return &r
+}
+
+// StreamValue is NewStream returning the generator by value, for hot loops
+// that derive one short-lived stream per item and want it stack-allocated
+// (the per-(round, vertex) draws of the frontier engine). The sequence is
+// bit-identical to NewStream(seed, stream).
+func StreamValue(seed, stream uint64) RNG {
 	// Scramble the stream index by an odd constant so that consecutive
 	// stream indices land far apart in splitmix64's sequence space.
-	return New(seed ^ (stream*0xd1342543de82ef95 + 0x632be59bd9b4e019))
+	var r RNG
+	r.Reseed(seed ^ (stream*0xd1342543de82ef95 + 0x632be59bd9b4e019))
+	return r
 }
 
 // Reseed resets the generator state from seed, as New does.
