@@ -1,0 +1,77 @@
+// Command cobrad is the long-running COBRA/BIPS campaign service: an
+// HTTP/JSON front end over the internal/batch subsystem. Submit a
+// campaign, poll its status, stream its per-trial results:
+//
+//	cobrad -addr :8080 &
+//	curl -X POST localhost:8080/v1/campaigns -d \
+//	  '{"graph":"ba:200000:3","process":"cobra","branch":2,"trials":1000,"seed":1}'
+//	curl localhost:8080/v1/campaigns/c000001
+//	curl localhost:8080/v1/campaigns/c000001/results   # NDJSON, follows live
+//
+// Campaigns are deterministic in (graph, process config, seed, trial):
+// resubmitting a spec — here or through the library — reproduces its
+// results bit for bit. See internal/batch for the contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/repro/cobra/internal/batch"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		campaigns = flag.Int("campaigns", 2, "campaigns running concurrently")
+		queue     = flag.Int("queue", 64, "queued-campaign backlog before 503s")
+		cacheSize = flag.Int("cache", 32, "compiled-graph LRU cache capacity")
+		maxTrials = flag.Int("max-trials", 1_000_000, "per-campaign trial cap (results are retained in memory)")
+	)
+	flag.Parse()
+
+	svc := batch.NewServer(batch.ServerConfig{
+		CampaignWorkers: *campaigns,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		MaxTrials:       *maxTrials,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("cobrad: listening on %s (campaign workers %d, queue %d, graph cache %d)",
+		*addr, *campaigns, *queue, *cacheSize)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("cobrad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("cobrad: shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			svc.Close()
+			fmt.Fprintln(os.Stderr, "cobrad:", err)
+			os.Exit(1)
+		}
+	}
+}

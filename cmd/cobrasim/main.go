@@ -41,14 +41,26 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		trace     = flag.Bool("trace", false, "plot one run's per-round set sizes (cobra/bips only)")
 		csvPath   = flag.String("csv", "", "with -trace: also write the per-round series to this CSV file")
+		format    = flag.String("format", "table", "output format: table (human summary) | csv (per-trial rows + summary to stderr)")
 	)
 	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fatal(fmt.Errorf("unknown -format %q (table | csv)", *format))
+	}
+	if *trace && *format == "csv" {
+		fatal(fmt.Errorf("-trace renders a chart, not trial rows; use its -csv flag for the per-round series"))
+	}
 
 	g, err := graphspec.Parse(*graphFlag, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph: %s (n=%d m=%d dmax=%d bipartite=%v)\n",
+	// In csv mode stdout carries only the CSV; commentary goes to stderr.
+	info := os.Stdout
+	if *format == "csv" {
+		info = os.Stderr
+	}
+	fmt.Fprintf(info, "graph: %s (n=%d m=%d dmax=%d bipartite=%v)\n",
 		g.Name(), g.N(), g.M(), g.MaxDegree(), g.IsBipartite())
 
 	if *trace {
@@ -104,11 +116,22 @@ func main() {
 	if *process == "rw" {
 		unit = "steps"
 	}
-	fmt.Printf("%s %s over %d trials:\n", *process, unit, s.N)
-	fmt.Printf("  mean   %.2f  (95%% CI %.2f..%.2f)\n", s.Mean, s.CI95Lo, s.CI95Hi)
-	fmt.Printf("  median %.1f  q25 %.1f  q75 %.1f\n", s.Median, s.Q25, s.Q75)
-	fmt.Printf("  min    %.0f  max %.0f  std %.2f\n", s.Min, s.Max, s.Std)
-	fmt.Printf("  lower bound max{log2 n, Diam} = %d\n", g.CoverTimeLowerBound())
+	if *format == "csv" {
+		// Machine-readable per-trial measurements on stdout (one row per
+		// trial, reusing the sim CSV writer), human summary on stderr.
+		tb := sim.NewTable("", "trial", *process+"_"+unit)
+		for i, x := range xs {
+			tb.AddRow(i, fmt.Sprintf("%g", x))
+		}
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(info, "%s %s over %d trials:\n", *process, unit, s.N)
+	fmt.Fprintf(info, "  mean   %.2f  (95%% CI %.2f..%.2f)\n", s.Mean, s.CI95Lo, s.CI95Hi)
+	fmt.Fprintf(info, "  median %.1f  q25 %.1f  q75 %.1f\n", s.Median, s.Q25, s.Q75)
+	fmt.Fprintf(info, "  min    %.0f  max %.0f  std %.2f\n", s.Min, s.Max, s.Std)
+	fmt.Fprintf(info, "  lower bound max{log2 n, Diam} = %d\n", g.CoverTimeLowerBound())
 }
 
 // runTrace runs a single traced COBRA or BIPS run and renders the

@@ -71,6 +71,31 @@
 // public knob; the forced modes (internal/engine Params.Mode) exist for
 // the repository's own benchmarks and equivalence tests.
 //
+// # Batch campaigns and the cobrad service
+//
+// The paper's theorems are statements about distributions over many
+// independent trajectories, so the repository's scale axis is trials, not
+// single runs. internal/batch runs campaigns — (graphspec, process
+// config, trial count, master seed) — with amortized state: the graph is
+// compiled once (and shared via an LRU cache keyed by canonical spec),
+// and each worker constructs its per-trial kernels through a reusable
+// engine.Workspace, so trials after the first pay no allocations and no
+// connectivity re-check (BenchmarkBatchCampaign vs BenchmarkNaiveCoverLoop
+// in internal/batch measures the gap on a 2·10^5-vertex workload).
+// Per-trial results stream in trial order while summary statistics
+// (mean/quantiles/CI, via the O(1)-memory stats.Online accumulator)
+// aggregate on the fly. cmd/cobrad serves the same campaigns over
+// HTTP/JSON as a long-running job service.
+//
+// The workspace-reuse contract: a workspace backs one live kernel at a
+// time, and a kernel built through one produces bit for bit the
+// trajectory of a freshly-allocated kernel. The campaign determinism
+// invariant extends the engine contract one level up: trial k of a
+// campaign is a pure function of (spec, config, seed, k) — identical
+// across worker counts, graph-cache hits vs misses, and the HTTP vs
+// library path. Both are enforced under -race by internal/engine and
+// internal/batch tests.
+//
 // # Quick start
 //
 //	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7

@@ -1,0 +1,288 @@
+// Package batch is the amortized multi-trial simulation subsystem: it
+// runs large campaigns of independent COBRA/BIPS trials against a shared
+// graph, pooling per-worker engine workspaces so trials after the first
+// pay no graph compilation, no connectivity re-check, and no kernel
+// allocations — only the simulation itself. It is the library layer under
+// the cobrad job service (internal/batch.Server, cmd/cobrad).
+//
+// # Campaign determinism invariant
+//
+// The result of trial k of a campaign is a pure function of
+// (graph spec, process config, master seed, k):
+//
+//   - trial k's kernel seed comes from the stream NewStream(Seed, k),
+//     exactly the derivation of the naive sim.Runner + core.CoverTime /
+//     bips.InfectionTime loop, so the batch path reproduces the library
+//     path bit for bit;
+//   - worker count, workspace reuse, graph-cache hits vs misses, and the
+//     HTTP vs library entry point are all invisible to trial results;
+//   - per-trial results are delivered, and aggregated, in trial-index
+//     order, so the campaign's aggregate statistics are bit-identical
+//     across worker counts too.
+//
+// Tests in batch_test.go and service_test.go enforce every clause under
+// the race detector.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/repro/cobra/internal/engine"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/graphspec"
+	"github.com/repro/cobra/internal/stats"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// ErrRoundLimit flags a trial that hit its round cap before completing;
+// it mirrors core.ErrRoundLimit / bips.ErrRoundLimit for the batch path.
+var ErrRoundLimit = fmt.Errorf("batch: round limit exceeded")
+
+// Spec describes a campaign: which process to run, on which graph, how
+// many trials, and the master seed the whole campaign is a pure function
+// of. The JSON field names are the cobrad wire format.
+type Spec struct {
+	// Graph is a graphspec string ("family:args", see internal/graphspec).
+	Graph string `json:"graph"`
+	// Process is "cobra" or "bips".
+	Process string `json:"process"`
+	// Branch is the integer branching factor b >= 1.
+	Branch int `json:"branch"`
+	// Rho adds a fractional extra branch with probability Rho in [0, 1].
+	Rho float64 `json:"rho,omitempty"`
+	// Lazy selects the lazy variant (needed on bipartite graphs).
+	Lazy bool `json:"lazy,omitempty"`
+	// Start is the COBRA start vertex respectively the BIPS source.
+	Start int `json:"start"`
+	// Trials is the number of independent trials.
+	Trials int `json:"trials"`
+	// Seed is the master seed; it also seeds random graph families.
+	Seed uint64 `json:"seed"`
+	// Workers bounds trial-level parallelism (<= 0: GOMAXPROCS). It never
+	// affects results, only wall-clock time.
+	Workers int `json:"workers,omitempty"`
+	// MaxRounds caps a single trial; 0 means the library default of
+	// 64·n·log2(n)+64 rounds (matching core.Config / bips.Config).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Validate checks everything that can be checked without building the
+// graph (the spec syntax included).
+func (s Spec) Validate() error {
+	if _, err := graphspec.Canonical(s.Graph); err != nil {
+		return fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	switch strings.ToLower(s.Process) {
+	case "cobra", "bips":
+	default:
+		return fmt.Errorf("%w: process must be cobra or bips, got %q", ErrInput, s.Process)
+	}
+	if s.Branch < 1 {
+		return fmt.Errorf("%w: branch must be >= 1, got %d", ErrInput, s.Branch)
+	}
+	if s.Rho < 0 || s.Rho > 1 {
+		return fmt.Errorf("%w: rho must be in [0,1], got %v", ErrInput, s.Rho)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("%w: start must be >= 0, got %d", ErrInput, s.Start)
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("%w: trials must be >= 1, got %d", ErrInput, s.Trials)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("%w: max_rounds must be >= 0, got %d", ErrInput, s.MaxRounds)
+	}
+	return nil
+}
+
+// TrialResult is the measurement of one completed trial.
+type TrialResult struct {
+	// Trial is the trial index in [0, Spec.Trials).
+	Trial int `json:"trial"`
+	// Rounds is the cover time (COBRA) or infection time (BIPS).
+	Rounds int `json:"rounds"`
+	// Sent and Coalesced are the COBRA transmission counters (0 for BIPS).
+	Sent      int64 `json:"sent,omitempty"`
+	Coalesced int64 `json:"coalesced,omitempty"`
+	// DenseRounds/SparseRounds report which representation the adaptive
+	// kernel picked, for capacity diagnostics.
+	DenseRounds  int `json:"dense_rounds"`
+	SparseRounds int `json:"sparse_rounds"`
+}
+
+// Aggregate is the online summary of a campaign's per-trial round counts.
+type Aggregate struct {
+	// Completed is how many trials have been folded in so far.
+	Completed int `json:"completed"`
+	// Rounds summarises the per-trial round counts (quartiles are P²
+	// streaming estimates; see stats.Online).
+	Rounds stats.Summary `json:"rounds"`
+}
+
+// Campaign is a compiled campaign: spec plus the shared graph, ready to
+// run any number of times.
+type Campaign struct {
+	spec Spec
+	g    *graph.Graph
+	pool sync.Pool // *engine.Workspace, one live per worker
+}
+
+// Compile validates spec and builds (or fetches from cache, when cache is
+// non-nil) its graph. The returned campaign is safe for concurrent Runs.
+func Compile(spec Spec, cache *Cache) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec.Process = strings.ToLower(spec.Process)
+	var g *graph.Graph
+	var err error
+	if cache != nil {
+		g, err = cache.GetOrBuild(spec.Graph, spec.Seed)
+	} else {
+		g, err = graphspec.Parse(spec.Graph, spec.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	if spec.Start >= g.N() {
+		return nil, fmt.Errorf("%w: start %d out of range for n=%d", ErrInput, spec.Start, g.N())
+	}
+	c := &Campaign{spec: spec, g: g}
+	c.pool.New = func() any { return engine.NewWorkspace() }
+	return c, nil
+}
+
+// Spec returns the compiled (normalized) spec.
+func (c *Campaign) Spec() Spec { return c.spec }
+
+// Graph returns the shared compiled graph.
+func (c *Campaign) Graph() *graph.Graph { return c.g }
+
+// maxRounds applies the library-wide default cap (engine.DefaultMaxRounds,
+// shared with core.Config and bips.Config) unless the spec overrides it.
+func (c *Campaign) maxRounds() int {
+	if c.spec.MaxRounds > 0 {
+		return c.spec.MaxRounds
+	}
+	return engine.DefaultMaxRounds(c.g.N())
+}
+
+// Run executes the campaign. Completed trials are delivered to onResult
+// (which may be nil) in trial-index order, each before it is folded into
+// the returned aggregate. Cancel ctx to abort early; on any trial error
+// the campaign stops claiming new trials and returns every error that
+// occurred (errors.Join).
+func (c *Campaign) Run(ctx context.Context, onResult func(TrialResult)) (*Aggregate, error) {
+	workers := c.spec.Workers
+	resCh := make(chan TrialResult, 64)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- ForEach(ctx, c.spec.Seed, workers, c.spec.Trials, func(k int, rng *xrand.RNG) error {
+			ws := c.pool.Get().(*engine.Workspace)
+			defer c.pool.Put(ws)
+			res, err := c.runTrial(ws, k, rng)
+			if err != nil {
+				return err
+			}
+			select {
+			case resCh <- res:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		close(resCh)
+	}()
+
+	// Reorder completions into trial order so both the result stream and
+	// the online aggregation are independent of worker scheduling.
+	online := stats.NewOnline()
+	pending := make(map[int]TrialResult)
+	next := 0
+	for res := range resCh {
+		pending[res.Trial] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if onResult != nil {
+				onResult(r)
+			}
+			online.Add(float64(r.Rounds))
+		}
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	summary, err := online.Summary()
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregate{Completed: online.N(), Rounds: summary}, nil
+}
+
+// Stream launches the campaign and returns a channel of per-trial results
+// in trial order plus a wait function returning the final aggregate. The
+// channel is unbuffered (consumer-paced) and closed when the campaign
+// finishes; cancel ctx to abandon it without draining.
+func (c *Campaign) Stream(ctx context.Context) (<-chan TrialResult, func() (*Aggregate, error)) {
+	out := make(chan TrialResult)
+	type outcome struct {
+		agg *Aggregate
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		agg, err := c.Run(ctx, func(r TrialResult) {
+			select {
+			case out <- r:
+			case <-ctx.Done():
+			}
+		})
+		close(out)
+		done <- outcome{agg, err}
+	}()
+	return out, func() (*Aggregate, error) {
+		o := <-done
+		return o.agg, o.err
+	}
+}
+
+// runTrial runs trial k in ws. The kernel seed is one Uint64 drawn from
+// the trial's stream — the same derivation as core.New / bips.New — so
+// the trajectory matches the non-batch library path exactly.
+func (c *Campaign) runTrial(ws *engine.Workspace, k int, rng *xrand.RNG) (TrialResult, error) {
+	par := engine.Params{Branch: c.spec.Branch, Rho: c.spec.Rho, Lazy: c.spec.Lazy, Workers: 1}
+	seed := rng.Uint64()
+	var kern *engine.Kernel
+	var err error
+	if c.spec.Process == "cobra" {
+		kern, err = engine.NewCobraWith(ws, c.g, par, []int{c.spec.Start}, seed)
+	} else {
+		kern, err = engine.NewBipsWith(ws, c.g, par, c.spec.Start, seed)
+	}
+	if err != nil {
+		return TrialResult{}, err
+	}
+	limit := c.maxRounds()
+	for !kern.Complete() {
+		if kern.Round() >= limit {
+			return TrialResult{}, fmt.Errorf("%w: %d rounds on %s", ErrRoundLimit, kern.Round(), c.g.Name())
+		}
+		kern.Step()
+	}
+	return TrialResult{
+		Trial:        k,
+		Rounds:       kern.Round(),
+		Sent:         kern.Sent(),
+		Coalesced:    kern.Coalesced(),
+		DenseRounds:  kern.DenseRounds(),
+		SparseRounds: kern.SparseRounds(),
+	}, nil
+}

@@ -1,0 +1,51 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/graphspec"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// The acceptance benchmark pair: amortized per-trial cost of a campaign
+// versus the naive loop-over-CoverTime baseline on a 2·10^5-vertex
+// scale-free workload. One benchmark iteration is one trial in both, so
+// ns/op and allocs/op are directly comparable; the campaign path should
+// show near-zero allocs/op (workspace reuse) and no per-trial
+// connectivity scan or graph rebuild.
+
+const benchGraph = "ba:200000:3"
+
+func BenchmarkBatchCampaign(b *testing.B) {
+	cache := NewCache(2)
+	if _, err := cache.GetOrBuild(benchGraph, 1); err != nil { // compile outside the timer
+		b.Fatal(err)
+	}
+	spec := Spec{Graph: benchGraph, Process: "cobra", Branch: 2, Trials: b.N, Seed: 1, Workers: 1}
+	c, err := Compile(spec, cache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := c.Run(context.Background(), nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkNaiveCoverLoop(b *testing.B) {
+	g, err := graphspec.Parse(benchGraph, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Branch: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, err := core.CoverTime(g, cfg, 0, xrand.NewStream(1, uint64(k))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// The trial scheduler: the one fan-out loop shared by campaigns and by
+// sim.Runner. Trial k always receives the RNG stream NewStream(seed, k),
+// so which worker runs a trial — and how many workers exist — can never
+// change its result.
+
+// ErrInput flags invalid scheduler or campaign arguments.
+var ErrInput = errors.New("batch: invalid input")
+
+// ForEach runs fn for every trial index 0..trials-1 across `workers`
+// goroutines (<= 0 selects GOMAXPROCS); fn for trial k receives the
+// private stream NewStream(seed, k).
+//
+// Error handling: the first failure (or context cancellation) stops
+// workers from claiming further trials — already-running trials finish —
+// and ForEach returns every trial error that occurred, combined with
+// errors.Join in trial-index order. No error is silently discarded.
+func ForEach(ctx context.Context, seed uint64, workers, trials int, fn func(trial int, rng *xrand.RNG) error) error {
+	if trials < 1 {
+		return fmt.Errorf("%w: trials < 1", ErrInput)
+	}
+	if fn == nil {
+		return fmt.Errorf("%w: nil trial function", ErrInput)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	errs := make([]error, trials)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				k := int(next.Add(1) - 1)
+				if k >= trials {
+					return
+				}
+				rng := xrand.NewStream(seed, uint64(k))
+				if err := fn(k, rng); err != nil {
+					errs[k] = fmt.Errorf("trial %d: %w", k, err)
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return errors.Join(append(compact(errs), err)...)
+	}
+	return errors.Join(compact(errs)...)
+}
+
+// compact drops nil entries, preserving trial order.
+func compact(errs []error) []error {
+	out := errs[:0:0]
+	for _, err := range errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}

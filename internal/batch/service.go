@@ -1,0 +1,390 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/repro/cobra/internal/stats"
+)
+
+// The cobrad job service: an http.Handler exposing campaigns as
+// asynchronous jobs over HTTP/JSON, backed by an in-process queue with a
+// bounded campaign-worker pool and the shared LRU graph cache. cmd/cobrad
+// wraps it in a process; tests drive it through httptest.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns            submit a Spec; 202 + {id, ...} or 400/503
+//	GET  /v1/campaigns            list job summaries
+//	GET  /v1/campaigns/{id}       status + online aggregates
+//	GET  /v1/campaigns/{id}/results  per-trial results as NDJSON, streamed
+//	                              live (the response follows a running
+//	                              campaign until it finishes)
+//	GET  /healthz                 liveness
+//
+// The determinism contract extends over the wire: a campaign submitted
+// over HTTP yields exactly the per-trial results and aggregates of
+// Compile + Run with the same Spec (service_test.go enforces it).
+
+// JobState is the lifecycle of a submitted campaign.
+type JobState string
+
+const (
+	// StateQueued means the job waits for a campaign worker.
+	StateQueued JobState = "queued"
+	// StateRunning means trials are executing.
+	StateRunning JobState = "running"
+	// StateDone means every trial completed.
+	StateDone JobState = "done"
+	// StateFailed means compilation or a trial failed (or the server shut
+	// down mid-run); Error holds the cause.
+	StateFailed JobState = "failed"
+)
+
+// ServerConfig sizes the service.
+type ServerConfig struct {
+	// CampaignWorkers is how many campaigns run concurrently (default 2).
+	CampaignWorkers int
+	// QueueDepth bounds the backlog of queued campaigns; submissions
+	// beyond it are rejected with 503 (default 64).
+	QueueDepth int
+	// CacheSize is the LRU graph cache capacity (default 32).
+	CacheSize int
+	// MaxTrials bounds a single campaign's trial count — per-trial
+	// results are retained in memory for the results endpoint, so this
+	// caps per-job memory (default 1e6; ~56 bytes per trial).
+	MaxTrials int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.CampaignWorkers < 1 {
+		c.CampaignWorkers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 32
+	}
+	if c.MaxTrials < 1 {
+		c.MaxTrials = 1_000_000
+	}
+	return c
+}
+
+// Job is one submitted campaign and its accumulated results.
+type Job struct {
+	id   string
+	spec Spec
+
+	mu       sync.Mutex
+	state    JobState
+	results  []TrialResult
+	online   *stats.Online // live partial aggregate while running
+	final    *Aggregate    // Run's own aggregate, once done
+	errMsg   string
+	notify   chan struct{} // closed and replaced on every state change
+	created  time.Time
+	finished time.Time
+}
+
+// jobStatus is the wire form of a job's status.
+type jobStatus struct {
+	ID        string     `json:"id"`
+	State     JobState   `json:"state"`
+	Spec      Spec       `json:"spec"`
+	Trials    int        `json:"trials"`
+	Completed int        `json:"completed"`
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+func (j *Job) statusLocked() jobStatus {
+	st := jobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Trials:    j.spec.Trials,
+		Completed: len(j.results),
+		Error:     j.errMsg,
+	}
+	if j.final != nil {
+		st.Aggregate = j.final
+	} else if j.online.N() > 0 {
+		if summary, err := j.online.Summary(); err == nil {
+			st.Aggregate = &Aggregate{Completed: j.online.N(), Rounds: summary}
+		}
+	}
+	return st
+}
+
+// bump wakes every watcher of j. Callers hold j.mu.
+func (j *Job) bumpLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// Server is the cobrad service. Create with NewServer, serve it as an
+// http.Handler, and Close it to stop the campaign workers.
+type Server struct {
+	cfg    ServerConfig
+	cache  *Cache
+	mux    *http.ServeMux
+	queue  chan *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for the list endpoint
+	nextID int
+}
+
+// NewServer builds the service and starts its campaign workers.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheSize),
+		mux:    http.NewServeMux(),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*Job),
+	}
+	s.mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	for i := 0; i < cfg.CampaignWorkers; i++ {
+		s.wg.Add(1)
+		go s.campaignWorker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the campaign workers, aborting running campaigns. Safe to
+// call more than once.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// CacheStats exposes graph-cache counters for diagnostics and tests.
+func (s *Server) CacheStats() (hits, misses int64, size int) { return s.cache.Stats() }
+
+func (s *Server) campaignWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	job.state = StateRunning
+	job.bumpLocked()
+	job.mu.Unlock()
+
+	fail := func(err error) {
+		job.mu.Lock()
+		job.state = StateFailed
+		job.errMsg = err.Error()
+		job.finished = time.Now()
+		job.bumpLocked()
+		job.mu.Unlock()
+	}
+
+	campaign, err := Compile(job.spec, s.cache)
+	if err != nil {
+		fail(err)
+		return
+	}
+	agg, err := campaign.Run(s.ctx, func(r TrialResult) {
+		job.mu.Lock()
+		job.results = append(job.results, r)
+		job.online.Add(float64(r.Rounds))
+		job.bumpLocked()
+		job.mu.Unlock()
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	job.mu.Lock()
+	job.final = agg
+	job.state = StateDone
+	job.finished = time.Now()
+	job.bumpLocked()
+	job.mu.Unlock()
+}
+
+// handleCampaigns serves POST (submit) and GET (list) on /v1/campaigns.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.list(w)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Trials > s.cfg.MaxTrials {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("trials %d exceeds this server's limit of %d (per-trial results are retained in memory)",
+				spec.Trials, s.cfg.MaxTrials))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("c%06d", s.nextID)
+	s.mu.Unlock()
+	job := &Job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		online:  stats.NewOnline(),
+		notify:  make(chan struct{}),
+		created: time.Now(),
+	}
+
+	// Reserve the queue slot before publishing the job: a rejected
+	// submission must never be observable (a watcher of a published-then-
+	// rolled-back job would hang on a notify that never comes).
+	select {
+	case s.queue <- job:
+	default:
+		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
+		return
+	}
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/campaigns/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":          id,
+		"status_url":  "/v1/campaigns/" + id,
+		"results_url": "/v1/campaigns/" + id + "/results",
+	})
+}
+
+func (s *Server) list(w http.ResponseWriter) {
+	s.mu.Lock()
+	out := make([]jobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		job := s.jobs[id]
+		job.mu.Lock()
+		out = append(out, job.statusLocked())
+		job.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+// handleCampaign serves /v1/campaigns/{id} and /v1/campaigns/{id}/results.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such campaign "+id)
+		return
+	}
+	switch sub {
+	case "":
+		job.mu.Lock()
+		st := job.statusLocked()
+		job.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	case "results":
+		s.streamResults(w, r, job)
+	default:
+		httpError(w, http.StatusNotFound, "unknown subresource "+sub)
+	}
+}
+
+// streamResults writes the job's per-trial results as NDJSON in trial
+// order, following a live campaign until it reaches a terminal state.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		job.mu.Lock()
+		chunk := job.results[sent:]
+		terminal := job.state == StateDone || job.state == StateFailed
+		wake := job.notify
+		job.mu.Unlock()
+
+		for _, res := range chunk {
+			if err := enc.Encode(res); err != nil {
+				return
+			}
+		}
+		sent += len(chunk)
+		if flusher != nil && len(chunk) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

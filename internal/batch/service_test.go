@@ -1,0 +1,359 @@
+package batch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := NewServer(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, spec Spec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] == "" {
+		t.Fatalf("no id in %v", out)
+	}
+	return out["id"]
+}
+
+func awaitState(t *testing.T, ts *httptest.Server, id string, want JobState) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("campaign failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s awaiting %s", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchResults(t *testing.T, ts *httptest.Server, id string) []TrialResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type %q", ct)
+	}
+	var out []TrialResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r TrialResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The final clause of the determinism contract: the HTTP path reproduces
+// the library path bit for bit — per-trial results and aggregates — and
+// repeated submissions hit the warm graph cache without changing results.
+func TestServiceMatchesLibraryPath(t *testing.T) {
+	spec := testSpec()
+	spec.Workers = 2
+	libResults, libAgg := runCampaign(t, spec, nil)
+
+	svc, ts := newTestServer(t, ServerConfig{})
+	for round, label := range []string{"cold", "warm"} {
+		id := postCampaign(t, ts, spec)
+		st := awaitState(t, ts, id, StateDone)
+		if st.Completed != spec.Trials {
+			t.Fatalf("%s: completed %d of %d", label, st.Completed, spec.Trials)
+		}
+		if st.Aggregate == nil {
+			t.Fatalf("%s: no aggregate", label)
+		}
+		if *st.Aggregate != *libAgg {
+			t.Fatalf("%s cache: HTTP aggregate %+v != library %+v", label, *st.Aggregate, *libAgg)
+		}
+		got := fetchResults(t, ts, id)
+		if len(got) != len(libResults) {
+			t.Fatalf("%s: %d results, want %d", label, len(got), len(libResults))
+		}
+		for i := range got {
+			if got[i] != libResults[i] {
+				t.Fatalf("%s cache: trial %d over HTTP %+v != library %+v", label, i, got[i], libResults[i])
+			}
+		}
+		if round == 1 {
+			hits, misses, _ := svc.CacheStats()
+			if misses != 1 || hits != 1 {
+				t.Fatalf("graph cache hits=%d misses=%d, want 1/1", hits, misses)
+			}
+		}
+	}
+}
+
+// A results request opened while the campaign runs must stream every
+// trial and terminate when the campaign does.
+func TestServiceStreamsLiveResults(t *testing.T) {
+	spec := testSpec()
+	spec.Graph = "grid:64:64" // slow enough to still be running at GET time
+	spec.Trials = 30
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postCampaign(t, ts, spec)
+	got := fetchResults(t, ts, id) // follows until done
+	if len(got) != spec.Trials {
+		t.Fatalf("streamed %d results, want %d", len(got), spec.Trials)
+	}
+	for i, r := range got {
+		if r.Trial != i {
+			t.Fatalf("stream out of order at %d: %+v", i, r)
+		}
+	}
+	awaitState(t, ts, id, StateDone)
+}
+
+func TestServiceValidation(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+
+	for name, body := range map[string]string{
+		"bad json":      "{",
+		"unknown field": `{"graph":"cycle:8","process":"cobra","branch":2,"trials":1,"seed":1,"bogus":3}`,
+		"bad spec":      `{"graph":"cycle:8","process":"warp","branch":2,"trials":1,"seed":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// Oversized campaigns are rejected at submission (results live in
+	// memory; the cap bounds per-job memory).
+	huge := testSpec()
+	huge.Trials = 2_000_000_000
+	body, _ := json.Marshal(huge)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized campaign: status %d, want 400", resp.StatusCode)
+	}
+
+	// A spec that validates but fails at compile time fails the job, not
+	// the submission (the graph is only built on a campaign worker).
+	id := postCampaign(t, ts, Spec{Graph: "cycle:8", Process: "cobra", Branch: 2, Start: 100, Trials: 1, Seed: 1})
+	st := awaitState(t, ts, id, StateFailed)
+	if !strings.Contains(st.Error, "out of range") {
+		t.Fatalf("unexpected failure message %q", st.Error)
+	}
+
+	for _, path := range []string{"/v1/campaigns/c999999", "/v1/campaigns/c999999/results", "/v1/campaigns/" + id + "/bogus"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServiceQueueBounded(t *testing.T) {
+	// One campaign worker, queue depth 1: a long-running campaign plus a
+	// queued one fill the service; the third submission must get 503.
+	_, ts := newTestServer(t, ServerConfig{CampaignWorkers: 1, QueueDepth: 1})
+	long := testSpec()
+	long.Graph = "grid:128:128"
+	long.Trials = 100000
+	postCampaign(t, ts, long) // occupies the worker (aborted at Close)
+
+	// Wait until the first job left the queue for the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Campaigns []jobStatus `json:"campaigns"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Campaigns) == 1 && list.Campaigns[0].State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first campaign never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	postCampaign(t, ts, long) // sits in the queue
+	body, _ := json.Marshal(long)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServiceHealthz(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// Guard against accidental wire-format drift: the status payload must
+// carry the documented field names.
+func TestServiceWireFormat(t *testing.T) {
+	spec := testSpec()
+	spec.Trials = 3
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postCampaign(t, ts, spec)
+	awaitState(t, ts, id, StateDone)
+	resp, err := http.Get(fmt.Sprintf("%s/v1/campaigns/%s", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"id", "state", "spec", "trials", "completed", "aggregate"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("status payload missing %q: %v", key, raw)
+		}
+	}
+	agg := raw["aggregate"].(map[string]any)
+	rounds, ok := agg["rounds"].(map[string]any)
+	if !ok {
+		t.Fatalf("aggregate missing rounds: %v", agg)
+	}
+	for _, key := range []string{"N", "Mean", "Median", "CI95Lo", "CI95Hi"} {
+		if _, ok := rounds[key]; !ok {
+			t.Fatalf("rounds summary missing %q: %v", key, rounds)
+		}
+	}
+}
+
+// Run must stay deterministic under the race detector with a ctx that is
+// cancelled mid-flight (regression guard for the shutdown path).
+func TestServiceShutdownAbortsRunning(t *testing.T) {
+	svc := NewServer(ServerConfig{CampaignWorkers: 1})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	long := testSpec()
+	long.Graph = "grid:128:128"
+	long.Trials = 100000
+	id := postCampaign(t, ts, long)
+	awaitStateRaw(t, ts, id, StateRunning)
+	done := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not abort the running campaign")
+	}
+	// The aborted job ends failed with the cancellation recorded.
+	st := awaitStateRaw(t, ts, id, StateFailed)
+	if !strings.Contains(st.Error, context.Canceled.Error()) {
+		t.Fatalf("aborted job error %q", st.Error)
+	}
+}
+
+// awaitStateRaw is awaitState without the fail-on-StateFailed shortcut.
+func awaitStateRaw(t *testing.T, ts *httptest.Server, id string, want JobState) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s awaiting %s", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

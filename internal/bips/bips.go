@@ -81,11 +81,7 @@ func (c Config) maxRounds(n int) int {
 	if c.MaxRounds > 0 {
 		return c.MaxRounds
 	}
-	lg := 1
-	for 1<<uint(lg) < n {
-		lg++
-	}
-	return 64*n*lg + 64
+	return engine.DefaultMaxRounds(n)
 }
 
 // engineParams maps the configuration onto the shared kernel.

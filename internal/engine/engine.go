@@ -84,6 +84,20 @@ const (
 // |frontier| > n/DefaultDenseDiv.
 const DefaultDenseDiv = 8
 
+// DefaultMaxRounds is the shared default cap on a single run over an
+// n-vertex graph: 64·n·log2(n)+64 rounds, far above every bound proven in
+// the paper, so hitting it signals a stuck process (e.g. non-lazy COBRA
+// on a bipartite graph with an unlucky parity) rather than slow covering.
+// core.Config, bips.Config and batch campaigns all apply this default;
+// keep them on this one definition.
+func DefaultMaxRounds(n int) int {
+	lg := 1
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	return 64*n*lg + 64
+}
+
 // Params configures a kernel. Branch/Rho/Lazy have the meaning shared by
 // the core and bips packages (the duality requires them to match).
 type Params struct {
@@ -163,14 +177,20 @@ type Kernel struct {
 
 // NewCobra creates a COBRA kernel with initial frontier C_0 = start.
 func NewCobra(g *graph.Graph, par Params, start []int, seed uint64) (*Kernel, error) {
-	k, err := newKernel(g, Cobra, par, seed)
+	return newCobra(g, par, start, seed, nil)
+}
+
+func newCobra(g *graph.Graph, par Params, start []int, seed uint64, ws *Workspace) (*Kernel, error) {
+	k, err := newKernel(g, Cobra, par, seed, ws)
 	if err != nil {
 		return nil, err
 	}
 	if len(start) == 0 {
 		return nil, fmt.Errorf("%w: empty C_0", ErrStart)
 	}
-	k.covered = bitset.New(g.N())
+	if k.covered == nil { // workspace constructions arrive with a reset set
+		k.covered = bitset.New(g.N())
+	}
 	for _, v := range start {
 		if v < 0 || v >= g.N() {
 			return nil, fmt.Errorf("%w: vertex %d out of range", ErrStart, v)
@@ -191,7 +211,11 @@ func NewCobra(g *graph.Graph, par Params, start []int, seed uint64) (*Kernel, er
 // NewBips creates a BIPS kernel with the given persistent source,
 // A_0 = {source}.
 func NewBips(g *graph.Graph, par Params, source int, seed uint64) (*Kernel, error) {
-	k, err := newKernel(g, Bips, par, seed)
+	return newBips(g, par, source, seed, nil)
+}
+
+func newBips(g *graph.Graph, par Params, source int, seed uint64, ws *Workspace) (*Kernel, error) {
+	k, err := newKernel(g, Bips, par, seed, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -207,12 +231,19 @@ func NewBips(g *graph.Graph, par Params, source int, seed uint64) (*Kernel, erro
 	return k, nil
 }
 
-func newKernel(g *graph.Graph, kind Kind, par Params, seed uint64) (*Kernel, error) {
+func newKernel(g *graph.Graph, kind Kind, par Params, seed uint64, ws *Workspace) (*Kernel, error) {
 	if err := par.Validate(); err != nil {
 		return nil, err
 	}
-	if !g.IsConnected() {
-		return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
+	// Connectivity is an O(n+m) traversal; a workspace amortizes it to one
+	// check per distinct graph across all the trials it backs.
+	if ws == nil || ws.checked != g {
+		if !g.IsConnected() {
+			return nil, fmt.Errorf("%w: %s", ErrDisconnected, g.Name())
+		}
+		if ws != nil {
+			ws.checked = g
+		}
 	}
 	workers := par.Workers
 	if workers <= 0 {
@@ -223,25 +254,30 @@ func newKernel(g *graph.Graph, kind Kind, par Params, seed uint64) (*Kernel, err
 		denseDiv = DefaultDenseDiv
 	}
 	n := g.N()
-	k := &Kernel{
-		g:         g,
-		kind:      kind,
-		par:       par,
-		seed:      seed,
-		workers:   workers,
-		denseDiv:  denseDiv,
-		cur:       bitset.New(n),
-		nextPlain: bitset.New(n),
-		stamp:     make([]uint32, n),
-	}
-	if workers > 1 {
-		k.bufs = make([][]int32, workers)
-		k.sentParts = make([]int64, workers)
-		k.scratch = bitset.New(n)
-		if kind == Cobra {
-			k.nextAtomic = bitset.NewAtomic(n)
+	var k *Kernel
+	if ws != nil {
+		k = ws.acquire(n, workers, kind)
+	} else {
+		k = &Kernel{
+			cur:       bitset.New(n),
+			nextPlain: bitset.New(n),
+			stamp:     make([]uint32, n),
+		}
+		if workers > 1 {
+			k.bufs = make([][]int32, workers)
+			k.sentParts = make([]int64, workers)
+			k.scratch = bitset.New(n)
+			if kind == Cobra {
+				k.nextAtomic = bitset.NewAtomic(n)
+			}
 		}
 	}
+	k.g = g
+	k.kind = kind
+	k.par = par
+	k.seed = seed
+	k.workers = workers
+	k.denseDiv = denseDiv
 	return k, nil
 }
 

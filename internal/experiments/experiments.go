@@ -78,6 +78,8 @@ func All() []Experiment {
 		{"E12", "Baselines — COBRA vs random walk vs multi-walk vs push", E12Baselines},
 		{"E13", "Conclusions — scan for cover/(n log n) growth (conjecture check)", E13Conjecture},
 		{"E14", "W.h.p. concentration — cover-time tail quantiles vs mean", E14Concentration},
+		{"E15", "Scale-free BA graphs — heavy-tail dmax^2 stress for Theorem 1.1", E15ScaleFree},
+		{"E16", "Watts–Strogatz gap sweep — cover across the small-world transition", E16SmallWorld},
 		{"A1", "Ablation — with vs without replacement neighbour sampling", AblationReplacement},
 		{"A2", "Ablation — lazy overhead on non-bipartite graphs", AblationLazy},
 		{"A3", "Ablation — serial vs deterministic-parallel round engine", AblationParallel},

@@ -14,7 +14,7 @@ func quickParams() Params { return Params{Seed: 2024, Scale: Quick} }
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
+	if len(exps) != 19 {
 		t.Fatalf("registry has %d entries", len(exps))
 	}
 	seen := map[string]bool{}
@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"E1", "E4", "E10", "E12", "A3"} {
+	for _, id := range []string{"E1", "E4", "E10", "E12", "E15", "E16", "A3"} {
 		if !seen[id] {
 			t.Fatalf("missing experiment %s", id)
 		}
@@ -356,6 +356,62 @@ func TestE13Conjecture(t *testing.T) {
 		if ratio > 2 {
 			t.Fatalf("E13 %s n=%s: cover/(n ln n) = %.3f — conjecture counterexample?!", row[0], row[1], ratio)
 		}
+	}
+}
+
+func TestE15ScaleFree(t *testing.T) {
+	tb, err := E15ScaleFree(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2*2 {
+		t.Fatalf("E15 rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		share, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if share <= 0 || share >= 1 {
+			t.Fatalf("E15 %s: dmax2-share %v outside (0,1)", row[0], row[4])
+		}
+		ratio, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 3 {
+			t.Fatalf("E15 %s: cover/bound ratio %.3f blows past O(1)", row[0], ratio)
+		}
+	}
+}
+
+func TestE16SmallWorld(t *testing.T) {
+	tb, err := E16SmallWorld(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("E16 rows = %d", len(tb.Rows))
+	}
+	covers := make([]float64, len(tb.Rows))
+	gaps := make([]float64, len(tb.Rows))
+	for i, row := range tb.Rows {
+		var err error
+		if gaps[i], err = strconv.ParseFloat(row[4], 64); err != nil {
+			t.Fatal(err)
+		}
+		if covers[i], err = strconv.ParseFloat(row[5], 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The small-world effect: more rewiring opens the gap and the cover
+	// time must not grow (generous slack for trial noise).
+	last := len(tb.Rows) - 1
+	if gaps[last] <= gaps[0] {
+		t.Fatalf("E16: gap did not open with beta: %v vs %v", gaps[last], gaps[0])
+	}
+	if covers[last] > covers[0]*1.25 {
+		t.Fatalf("E16: cover time grew across the transition: %v vs %v", covers[last], covers[0])
 	}
 }
 

@@ -1,0 +1,110 @@
+package graphspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonicalization of specs into cache keys, for the batch subsystem's
+// graph cache: two spec strings describe the same graph family instance
+// iff their canonical forms are equal. Canonical validates the family
+// name and argument shapes without building the graph (generation can be
+// expensive; parsing is not), so it is also the cheap syntax check the
+// job service runs at submission time.
+
+// argKind is one expected argument of a family.
+type argKind int
+
+const (
+	argInt argKind = iota
+	argFloat
+)
+
+// families maps each family name to its expected argument kinds.
+// varInt families (grid, torus) accept one or more integer dimensions.
+var families = map[string]struct {
+	kinds  []argKind
+	varInt bool
+}{
+	"complete":    {kinds: []argKind{argInt}},
+	"cycle":       {kinds: []argKind{argInt}},
+	"path":        {kinds: []argKind{argInt}},
+	"star":        {kinds: []argKind{argInt}},
+	"hypercube":   {kinds: []argKind{argInt}},
+	"bintree":     {kinds: []argKind{argInt}},
+	"doublecycle": {kinds: []argKind{argInt}},
+	"rtree":       {kinds: []argKind{argInt}},
+	"grid":        {varInt: true},
+	"torus":       {varInt: true},
+	"lollipop":    {kinds: []argKind{argInt, argInt}},
+	"barbell":     {kinds: []argKind{argInt, argInt}},
+	"bipartite":   {kinds: []argKind{argInt, argInt}},
+	"chord":       {kinds: []argKind{argInt, argInt}},
+	"rreg":        {kinds: []argKind{argInt, argInt}},
+	"ba":          {kinds: []argKind{argInt, argInt}},
+	"petersen":    {},
+	"er":          {kinds: []argKind{argInt, argFloat}},
+	"ws":          {kinds: []argKind{argInt, argInt, argFloat}},
+}
+
+// Canonical returns the canonical form of spec: lower-cased family name
+// and numerically normalized arguments ("  BA:0500:3 " → "ba:500:3",
+// "ws:500:06:0.10" → "ws:500:6:0.1"). It errors on unknown families and
+// malformed argument lists. Canonical(Canonical(s)) == Canonical(s).
+func Canonical(spec string) (string, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return "", fmt.Errorf("%w: empty spec", ErrSpec)
+	}
+	name := strings.ToLower(strings.TrimSpace(parts[0]))
+	args := parts[1:]
+	fam, ok := families[name]
+	if !ok {
+		return "", fmt.Errorf("%w: unknown family %q (see package doc for the list)", ErrSpec, name)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(name)
+	norm := func(raw string, kind argKind) error {
+		raw = strings.TrimSpace(raw)
+		switch kind {
+		case argInt:
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				return fmt.Errorf("%w: %s argument %q not an integer", ErrSpec, name, raw)
+			}
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(v))
+		case argFloat:
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return fmt.Errorf("%w: %s argument %q not a number", ErrSpec, name, raw)
+			}
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		return nil
+	}
+
+	if fam.varInt {
+		if len(args) == 0 {
+			return "", fmt.Errorf("%w: %s needs dimensions", ErrSpec, name)
+		}
+		for _, a := range args {
+			if err := norm(a, argInt); err != nil {
+				return "", err
+			}
+		}
+		return sb.String(), nil
+	}
+	if len(args) != len(fam.kinds) {
+		return "", fmt.Errorf("%w: %s takes %d arguments, got %d", ErrSpec, name, len(fam.kinds), len(args))
+	}
+	for i, a := range args {
+		if err := norm(a, fam.kinds[i]); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}

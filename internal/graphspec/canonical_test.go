@@ -1,0 +1,69 @@
+package graphspec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCanonicalNormalizes(t *testing.T) {
+	cases := map[string]string{
+		"  BA:0500:3 ":   "ba:500:3",
+		"ws:500:06:0.10": "ws:500:6:0.1",
+		"ER:100:2e-2":    "er:100:0.02",
+		"Grid:32:32":     "grid:32:32",
+		"petersen":       "petersen",
+		"torus:4:5:6":    "torus:4:5:6",
+		"rreg:1024:3":    "rreg:1024:3",
+	}
+	for in, want := range cases {
+		got, err := Canonical(in)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+		// Idempotence.
+		again, err := Canonical(got)
+		if err != nil || again != got {
+			t.Fatalf("Canonical not idempotent on %q: %q, %v", got, again, err)
+		}
+	}
+}
+
+func TestCanonicalRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "nope:5", "ba:500", "ba:500:3:9", "ws:500:6", "grid",
+		"complete:xyz", "er:100:high", "petersen:1",
+	} {
+		if _, err := Canonical(bad); !errors.Is(err, ErrSpec) {
+			t.Fatalf("Canonical(%q) accepted", bad)
+		}
+	}
+}
+
+// Every spec Canonical accepts must Parse, and the canonical form must
+// describe the same graph as the original.
+func TestCanonicalAgreesWithParse(t *testing.T) {
+	for _, spec := range []string{
+		"BA:200:3", "ws:200:6:0.25", "er:64:0.2", "grid:8:9",
+		"complete:12", "rreg:64:3", "petersen",
+	} {
+		canon, err := Canonical(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Parse(spec, 5)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		b, err := Parse(canon, 5)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", canon, err)
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%q vs %q: different graphs (n=%d/%d m=%d/%d)",
+				spec, canon, a.N(), b.N(), a.M(), b.M())
+		}
+	}
+}

@@ -10,11 +10,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"github.com/repro/cobra/internal/batch"
 	"github.com/repro/cobra/internal/xrand"
 )
 
@@ -34,7 +34,10 @@ type Runner struct {
 }
 
 // Run executes `trials` independent trials and returns their measurements
-// in trial order. The first trial error (lowest index) aborts the batch.
+// in trial order, delegating the fan-out to the shared batch scheduler
+// (internal/batch.ForEach). A failure stops workers from claiming further
+// trials, and every trial error that occurred is returned, combined with
+// errors.Join in trial-index order and tagged with its trial index.
 func (r Runner) Run(trials int, fn TrialFunc) ([]float64, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("%w: trials < 1", ErrInput)
@@ -42,43 +45,18 @@ func (r Runner) Run(trials int, fn TrialFunc) ([]float64, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("%w: nil trial function", ErrInput)
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-
 	out := make([]float64, trials)
-	errs := make([]error, trials)
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := int(next)
-				next++
-				mu.Unlock()
-				if k >= trials {
-					return
-				}
-				rng := xrand.NewStream(r.Seed, uint64(k))
-				v, err := fn(k, rng)
-				out[k] = v
-				errs[k] = err
+	err := batch.ForEach(context.Background(), r.Seed, r.Workers, trials,
+		func(trial int, rng *xrand.RNG) error {
+			v, err := fn(trial, rng)
+			if err != nil {
+				return err
 			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			out[trial] = v
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -46,6 +47,48 @@ func TestRunPropagatesError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunJoinsAllErrors(t *testing.T) {
+	// Concurrent failures must all surface (errors.Join), each tagged
+	// with its trial index, not just the lowest-index one.
+	boomA := errors.New("boomA")
+	boomB := errors.New("boomB")
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	_, err := Runner{Seed: 1, Workers: 2}.Run(2, func(trial int, rng *xrand.RNG) (float64, error) {
+		// Rendezvous so both trials are in flight before either fails:
+		// the fail-fast flag cannot suppress the second error.
+		barrier.Done()
+		barrier.Wait()
+		if trial == 0 {
+			return 0, boomA
+		}
+		return 0, boomB
+	})
+	if !errors.Is(err, boomA) || !errors.Is(err, boomB) {
+		t.Fatalf("lost an error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 0:") || !strings.Contains(err.Error(), "trial 1:") {
+		t.Fatalf("missing trial tags: %v", err)
+	}
+}
+
+func TestRunStopsClaimingAfterFailure(t *testing.T) {
+	// With one worker, a failure at trial 0 must prevent trials 1.. from
+	// running at all.
+	ran := 0
+	boom := errors.New("boom")
+	_, err := Runner{Seed: 1, Workers: 1}.Run(64, func(trial int, rng *xrand.RNG) (float64, error) {
+		ran++
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d trials after failure, want 1", ran)
 	}
 }
 

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/cobra/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	if _, err := NewOnline().Summary(); err == nil {
+		t.Fatal("empty accumulator produced a summary")
+	}
+}
+
+// For n <= 5 observations every field, quartiles included, is exact
+// (including n == 5 itself, right at P² marker initialization).
+func TestOnlineSmallSampleExact(t *testing.T) {
+	for _, xs := range [][]float64{
+		{7, 3, 11, 5},
+		{10, 20, 30, 40, 50},
+	} {
+		o := NewOnline()
+		for _, x := range xs {
+			o.Add(x)
+		}
+		got, err := o.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("N/min/max: got %+v want %+v", got, want)
+		}
+		for name, pair := range map[string][2]float64{
+			"mean":   {got.Mean, want.Mean},
+			"std":    {got.Std, want.Std},
+			"median": {got.Median, want.Median},
+			"q25":    {got.Q25, want.Q25},
+			"q75":    {got.Q75, want.Q75},
+			"ci95lo": {got.CI95Lo, want.CI95Lo},
+			"ci95hi": {got.CI95Hi, want.CI95Hi},
+		} {
+			if !almostEq(pair[0], pair[1], 1e-12) {
+				t.Fatalf("n=%d %s: got %v want %v", len(xs), name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// On large samples the moments match Summarize to float tolerance and the
+// P² quartiles land within a small relative error of the exact ones.
+func TestOnlineLargeSample(t *testing.T) {
+	for _, shape := range []string{"uniform", "heavytail"} {
+		rng := xrand.New(99)
+		n := 20000
+		xs := make([]float64, n)
+		o := NewOnline()
+		for i := range xs {
+			u := rng.Float64()
+			x := u
+			if shape == "heavytail" {
+				x = 1 / (1 - 0.999*u) // Pareto-ish
+			}
+			xs[i] = x
+			o.Add(x)
+		}
+		got, err := o.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("%s: N/min/max mismatch", shape)
+		}
+		if !almostEq(got.Mean, want.Mean, 1e-9) || !almostEq(got.Std, want.Std, 1e-9) {
+			t.Fatalf("%s: moments: got mean=%v std=%v want mean=%v std=%v",
+				shape, got.Mean, got.Std, want.Mean, want.Std)
+		}
+		for name, pair := range map[string][2]float64{
+			"median": {got.Median, want.Median},
+			"q25":    {got.Q25, want.Q25},
+			"q75":    {got.Q75, want.Q75},
+		} {
+			if !almostEq(pair[0], pair[1], 0.05) {
+				t.Fatalf("%s %s: got %v want %v (>5%% off)", shape, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// Identical observation order must give bit-identical summaries — the
+// property the batch aggregator's determinism contract leans on.
+func TestOnlineOrderDeterminism(t *testing.T) {
+	build := func() Summary {
+		o := NewOnline()
+		rng := xrand.New(7)
+		for i := 0; i < 1000; i++ {
+			o.Add(float64(rng.Intn(500)))
+		}
+		s, err := o.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if build() != build() {
+		t.Fatal("same order gave different summaries")
+	}
+}
