@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` output into a compact
+// machine-readable JSON document mapping benchmark name to its measured
+// metrics (ns/op, B/op, allocs/op, iterations), for the CI perf-trajectory
+// artifact (BENCH_<sha>.json uploaded per commit).
+//
+// It accepts either the raw benchmark text or the `go test -json` event
+// stream (in which case benchmark lines are extracted from the "output"
+// events), so both forms work:
+//
+//	go test -run xxx -bench . -benchtime 1x ./... | benchjson > BENCH_abc.json
+//	go test -run xxx -bench . -benchtime 1x -json ./... | benchjson > BENCH_abc.json
+//
+// Benchmarks that appear more than once (e.g. -count > 1) keep their last
+// measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed measurement. Fields beyond
+// iterations and ns/op appear only when the benchmark reported them
+// (-benchmem or b.ReportAllocs).
+type Metrics struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// testEvent is the subset of the `go test -json` event schema we need.
+// Package scopes the partial-line reassembly: `go test` writes a
+// benchmark's result line incrementally (the name is flushed before the
+// benchmark runs, the metrics after), so one result line spans several
+// output events.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+func main() {
+	out, err := run(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+}
+
+func run(r io.Reader) ([]byte, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := make(map[string]Metrics)
+	record := func(line string) {
+		if name, m, ok := parseBenchLine(line); ok {
+			results[name] = m
+		}
+	}
+	pending := make(map[string]string) // per-package partial output line
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				buf := pending[ev.Package] + ev.Output
+				for {
+					full, rest, found := strings.Cut(buf, "\n")
+					if !found {
+						break
+					}
+					record(full)
+					buf = rest
+				}
+				pending[ev.Package] = buf
+				continue
+			}
+		}
+		record(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, rest := range pending {
+		record(rest)
+	}
+	// Deterministic artifact: sorted names via an ordered map rendering.
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, name := range names {
+		entry, err := json.Marshal(results[name])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "  %q: %s", name, entry)
+		if i < len(names)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return []byte(sb.String()), nil
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkBatchCampaign-8   120  9831245 ns/op  312 B/op  5 allocs/op
+//
+// It returns ok=false for anything that is not a benchmark result.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{Iterations: iters}
+	seenNs := false
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			val := v
+			m.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			m.AllocsPerOp = &val
+		case "MB/s":
+			val := v
+			m.MBPerSec = &val
+		}
+	}
+	if !seenNs {
+		return "", Metrics{}, false
+	}
+	return fields[0], m, true
+}

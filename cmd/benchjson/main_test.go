@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine("BenchmarkBatchCampaign-8   120  9831245 ns/op  312 B/op  5 allocs/op")
+	if !ok || name != "BenchmarkBatchCampaign-8" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if m.Iterations != 120 || m.NsPerOp != 9831245 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.BytesPerOp == nil || *m.BytesPerOp != 312 || m.AllocsPerOp == nil || *m.AllocsPerOp != 5 {
+		t.Fatalf("mem metrics %+v", m)
+	}
+
+	// Without -benchmem only ns/op is present.
+	_, m, ok = parseBenchLine("BenchmarkEngineCobraWide/n=200000-4 	      39	  29831245.5 ns/op")
+	if !ok || m.NsPerOp != 29831245.5 || m.BytesPerOp != nil {
+		t.Fatalf("plain line: ok=%v %+v", ok, m)
+	}
+
+	for _, bad := range []string{
+		"", "ok  	github.com/repro/cobra	0.1s", "PASS",
+		"BenchmarkBroken-8", "BenchmarkBroken-8 notanint 12 ns/op",
+		"goos: linux", "Benchmark results below 100 things", // word salad starting with Benchmark
+	} {
+		if name, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("accepted %q as %q", bad, name)
+		}
+	}
+}
+
+func TestRunParsesRawAndJSONStreams(t *testing.T) {
+	raw := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-4  100  50 ns/op  8 B/op  1 allocs/op",
+		"PASS",
+	}, "\n")
+	// go test -json flushes a benchmark's name before running it and its
+	// metrics after, so one result line spans several output events; an
+	// interleaved second package must not corrupt the reassembly.
+	jsonStream := strings.Join([]string{
+		`{"Action":"start","Package":"p"}`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkA-4 \t"}`,
+		`{"Action":"output","Package":"q","Output":"BenchmarkB-4 \t"}`,
+		`{"Action":"output","Package":"p","Output":"  100\t  50 ns/op\t  8 B/op\t  1 allocs/op\n"}`,
+		`{"Action":"output","Package":"q","Output":"  7\t  90 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"PASS\n"}`,
+		`{"Action":"pass","Package":"p"}`,
+	}, "\n")
+	for label, in := range map[string]string{"raw": raw, "json": jsonStream} {
+		out, err := run(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		var parsed map[string]Metrics
+		if err := json.Unmarshal(out, &parsed); err != nil {
+			t.Fatalf("%s: artifact not valid JSON: %v\n%s", label, err, out)
+		}
+		m, ok := parsed["BenchmarkA-4"]
+		if !ok || m.NsPerOp != 50 || m.AllocsPerOp == nil || *m.AllocsPerOp != 1 {
+			t.Fatalf("%s: parsed %+v", label, parsed)
+		}
+		if label == "json" {
+			if m, ok := parsed["BenchmarkB-4"]; !ok || m.NsPerOp != 90 {
+				t.Fatalf("json: interleaved package lost: %+v", parsed)
+			}
+		}
+	}
+}

@@ -8,9 +8,22 @@
 //	curl localhost:8080/v1/campaigns/c000001
 //	curl localhost:8080/v1/campaigns/c000001/results   # NDJSON, follows live
 //
-// Campaigns are deterministic in (graph, process config, seed, trial):
-// resubmitting a spec — here or through the library — reproduces its
-// results bit for bit. See internal/batch for the contract.
+// Parameter sweeps fan one submission across a grid of cells (graphs x
+// processes x branches x rhos), compiling each distinct graph once into
+// the shared cache:
+//
+//	curl -X POST localhost:8080/v1/sweeps -d \
+//	  '{"graphs":["ws:2048:8:0","ws:2048:8:0.1"],"processes":["cobra"],"branches":[2,3],"trials":100,"seed":1}'
+//	curl localhost:8080/v1/sweeps/s000001           # per-cell aggregates
+//	curl localhost:8080/v1/sweeps/s000001/results   # NDJSON in (cell, trial) order
+//	curl localhost:8080/v1/sweeps/s000001/table     # cross-cell summary grid
+//
+// Campaigns are deterministic in (graph, process config, seed, trial),
+// and every sweep cell is byte-identical to the same spec submitted as a
+// standalone campaign: resubmitting either — here or through the library
+// — reproduces its results bit for bit. See internal/batch for the
+// contract. The -max-trials cap applies to a sweep's total (cells x
+// trials per cell).
 package main
 
 import (

@@ -8,13 +8,24 @@
 //	cobrasim -graph hypercube:10 -process cobra -lazy -trials 100
 //	cobrasim -graph complete:4096 -process bips -b 1 -rho 0.5
 //	cobrasim -graph lollipop:600:400 -process rw -trials 10
+//
+// Sweep mode expands a parameter grid (graphs x processes x branches x
+// rhos) into cells, compiles each distinct graph once, and prints the
+// cross-cell summary grid as a table or CSV:
+//
+//	cobrasim -sweep -graphs ws:2048:8:0,ws:2048:8:0.1 -branches 2,3 -trials 50
+//	cobrasim -sweep -graphs rreg:1024:3 -processes cobra,bips -format csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"github.com/repro/cobra/internal/batch"
 	"github.com/repro/cobra/internal/bips"
 	"github.com/repro/cobra/internal/core"
 	"github.com/repro/cobra/internal/gossip"
@@ -42,6 +53,11 @@ func main() {
 		trace     = flag.Bool("trace", false, "plot one run's per-round set sizes (cobra/bips only)")
 		csvPath   = flag.String("csv", "", "with -trace: also write the per-round series to this CSV file")
 		format    = flag.String("format", "table", "output format: table (human summary) | csv (per-trial rows + summary to stderr)")
+		sweep     = flag.Bool("sweep", false, "sweep mode: run the graphs x processes x branches x rhos grid")
+		graphs    = flag.String("graphs", "", "with -sweep: comma-separated graph specs (default: the -graph value)")
+		processes = flag.String("processes", "", "with -sweep: comma-separated processes from cobra,bips (default: the -process value)")
+		branches  = flag.String("branches", "", "with -sweep: comma-separated integer branch factors (default: the -b value)")
+		rhos      = flag.String("rhos", "", "with -sweep: comma-separated rho values (default: the -rho value)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -49,6 +65,22 @@ func main() {
 	}
 	if *trace && *format == "csv" {
 		fatal(fmt.Errorf("-trace renders a chart, not trial rows; use its -csv flag for the per-round series"))
+	}
+	if *sweep {
+		if *trace {
+			fatal(fmt.Errorf("-trace and -sweep are mutually exclusive"))
+		}
+		spec, err := sweepSpec(*graphs, *processes, *branches, *rhos, sweepDefaults{
+			graph: *graphFlag, process: *process, branch: *branch, rho: *rho,
+			lazy: *lazy, start: *start, trials: *trials, seed: *seed, workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSweep(spec, *format); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	g, err := graphspec.Parse(*graphFlag, *seed)
@@ -176,6 +208,98 @@ func runTrace(g *graph.Graph, process string, branch int, rho float64, lazy bool
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
+	return nil
+}
+
+// sweepDefaults carries the single-campaign flag values that seed any
+// sweep axis the user left empty.
+type sweepDefaults struct {
+	graph, process string
+	branch         int
+	rho            float64
+	lazy           bool
+	start, trials  int
+	seed           uint64
+	workers        int
+}
+
+// sweepSpec assembles the batch.SweepSpec from the comma-separated axis
+// flags, falling back to the scalar flags for omitted axes.
+func sweepSpec(graphs, processes, branches, rhos string, d sweepDefaults) (batch.SweepSpec, error) {
+	spec := batch.SweepSpec{
+		Graphs:    splitAxis(graphs, d.graph),
+		Processes: splitAxis(processes, d.process),
+		Lazy:      d.lazy,
+		Start:     d.start,
+		Trials:    d.trials,
+		Seed:      d.seed,
+		Workers:   d.workers,
+	}
+	for _, raw := range splitAxis(branches, strconv.Itoa(d.branch)) {
+		b, err := strconv.Atoi(raw)
+		if err != nil {
+			return spec, fmt.Errorf("-branches entry %q not an integer", raw)
+		}
+		spec.Branches = append(spec.Branches, b)
+	}
+	for _, raw := range splitAxis(rhos, strconv.FormatFloat(d.rho, 'g', -1, 64)) {
+		r, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-rhos entry %q not a number", raw)
+		}
+		spec.Rhos = append(spec.Rhos, r)
+	}
+	return spec, spec.Validate()
+}
+
+// splitAxis splits a comma-separated axis flag, substituting the scalar
+// default when the flag is empty.
+func splitAxis(list, fallback string) []string {
+	if strings.TrimSpace(list) == "" {
+		list = fallback
+	}
+	var out []string
+	for _, part := range strings.Split(list, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runSweep compiles and runs the sweep, then prints the cross-cell
+// summary grid: an aligned table (human) or CSV rows on stdout with the
+// run commentary on stderr.
+func runSweep(spec batch.SweepSpec, format string) error {
+	info := os.Stdout
+	if format == "csv" {
+		info = os.Stderr
+	}
+	sw, err := batch.CompileSweep(spec, nil)
+	if err != nil {
+		return err
+	}
+	hits, misses, _ := sw.CacheStats()
+	fmt.Fprintf(info, "sweep: %d cells (%d graphs x %d processes x %d branches x %d rhos), %d trials each; %d graph builds, %d cache hits\n",
+		spec.CellCount(), len(spec.Graphs), len(spec.Processes), len(spec.Branches),
+		spec.CellCount()/(len(spec.Graphs)*len(spec.Processes)*len(spec.Branches)), spec.Trials, misses, hits)
+	cells, err := sw.Run(context.Background(), nil)
+	if err != nil {
+		return err
+	}
+	header, rows := batch.SummaryTable(cells)
+	tb := sim.NewTable(fmt.Sprintf("sweep seed=%d", spec.Seed), header...)
+	for _, row := range rows {
+		rowCells := make([]any, len(row))
+		for i, c := range row {
+			rowCells[i] = c
+		}
+		tb.AddRow(rowCells...)
+	}
+	if format == "csv" {
+		return tb.WriteCSV(os.Stdout)
+	}
+	tb.Render(os.Stdout)
 	return nil
 }
 

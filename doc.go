@@ -96,6 +96,20 @@
 // library path. Both are enforced under -race by internal/engine and
 // internal/batch tests.
 //
+// # Parameter sweeps
+//
+// batch.Sweep lifts campaigns to parameter grids: one submission carries
+// axes (graph specs × processes × branch factors × rho values) that
+// expand row-major — graphs outermost — into an ordered list of campaign
+// cells. All cells compile through one graph cache (each distinct graph
+// builds exactly once) and share one workspace pool, and every cell
+// carries the sweep's master seed, making each cell byte-identical to
+// submitting its spec as a standalone campaign. cobrad exposes sweeps at
+// POST /v1/sweeps (status, NDJSON results in (cell, trial) order, and a
+// cross-cell summary table); cobrasim -sweep prints the same grid as an
+// aligned table or CSV; the experiment harness drives its E6 rho sweep
+// and E16 Watts–Strogatz beta sweep through the same API.
+//
 // # Quick start
 //
 //	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7

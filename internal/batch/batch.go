@@ -22,6 +22,19 @@
 //
 // Tests in batch_test.go and service_test.go enforce every clause under
 // the race detector.
+//
+// # Parameter sweeps
+//
+// Sweep (sweep.go) lifts campaigns to grids: one SweepSpec carries axes
+// (graph specs × processes × branch factors × rho values) that expand
+// row-major into an ordered list of campaign cells, all sharing the
+// sweep's scalar fields and master seed. Cells run sequentially through
+// the campaign scheduler against one shared graph cache — each distinct
+// graph spec compiles exactly once per cache — and one shared workspace
+// pool, so consecutive cells of the same graph pay no construction at
+// all. Because every cell carries the sweep seed, each cell is
+// byte-identical to submitting its Spec as a standalone campaign; see
+// sweep.go for the full cell-ordering and determinism contract.
 package batch
 
 import (
@@ -127,12 +140,20 @@ type Aggregate struct {
 type Campaign struct {
 	spec Spec
 	g    *graph.Graph
-	pool sync.Pool // *engine.Workspace, one live per worker
+	pool *sync.Pool // *engine.Workspace, one live per worker
 }
 
 // Compile validates spec and builds (or fetches from cache, when cache is
 // non-nil) its graph. The returned campaign is safe for concurrent Runs.
 func Compile(spec Spec, cache *Cache) (*Campaign, error) {
+	return compile(spec, cache, nil)
+}
+
+// compile is Compile with an optional shared workspace pool: sweeps pass
+// one pool for all their cells so workspaces are reused across cells (a
+// nil pool gives the campaign a private one). Workspace sharing, like
+// worker count, never affects trial results.
+func compile(spec Spec, cache *Cache, pool *sync.Pool) (*Campaign, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,9 +171,10 @@ func Compile(spec Spec, cache *Cache) (*Campaign, error) {
 	if spec.Start >= g.N() {
 		return nil, fmt.Errorf("%w: start %d out of range for n=%d", ErrInput, spec.Start, g.N())
 	}
-	c := &Campaign{spec: spec, g: g}
-	c.pool.New = func() any { return engine.NewWorkspace() }
-	return c, nil
+	if pool == nil {
+		pool = &sync.Pool{New: func() any { return engine.NewWorkspace() }}
+	}
+	return &Campaign{spec: spec, g: g, pool: pool}, nil
 }
 
 // Spec returns the compiled (normalized) spec.

@@ -12,10 +12,11 @@ import (
 	"github.com/repro/cobra/internal/stats"
 )
 
-// The cobrad job service: an http.Handler exposing campaigns as
-// asynchronous jobs over HTTP/JSON, backed by an in-process queue with a
-// bounded campaign-worker pool and the shared LRU graph cache. cmd/cobrad
-// wraps it in a process; tests drive it through httptest.
+// The cobrad job service: an http.Handler exposing campaigns and
+// parameter sweeps as asynchronous jobs over HTTP/JSON, backed by an
+// in-process queue with a bounded campaign-worker pool and the shared LRU
+// graph cache. cmd/cobrad wraps it in a process; tests drive it through
+// httptest.
 //
 // Endpoints:
 //
@@ -25,11 +26,20 @@ import (
 //	GET  /v1/campaigns/{id}/results  per-trial results as NDJSON, streamed
 //	                              live (the response follows a running
 //	                              campaign until it finishes)
+//	POST /v1/sweeps               submit a SweepSpec; 202 + {id, ...}
+//	GET  /v1/sweeps               list sweep summaries
+//	GET  /v1/sweeps/{id}          status + per-cell online aggregates
+//	GET  /v1/sweeps/{id}/results  per-cell trial results as NDJSON in
+//	                              (cell, trial) order, streamed live
+//	GET  /v1/sweeps/{id}/table    cross-cell summary grid (header + rows)
 //	GET  /healthz                 liveness
 //
 // The determinism contract extends over the wire: a campaign submitted
 // over HTTP yields exactly the per-trial results and aggregates of
-// Compile + Run with the same Spec (service_test.go enforces it).
+// Compile + Run with the same Spec, and a sweep yields exactly those of
+// CompileSweep + Run — cell by cell, byte for byte (service_test.go
+// enforces both). Campaign and sweep jobs share one graph cache, so a
+// sweep cell re-using an earlier campaign's graph is a cache hit.
 
 // JobState is the lifecycle of a submitted campaign.
 type JobState string
@@ -77,20 +87,27 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// Job is one submitted campaign and its accumulated results.
+// Job is one submitted campaign or sweep and its accumulated results.
+// Campaign jobs use spec/results/online/final; sweep jobs (sweep != nil)
+// use sweep/cellSpecs/cellResults/cellOnline/cellFinal.
 type Job struct {
-	id   string
-	spec Spec
+	id        string
+	spec      Spec
+	sweep     *SweepSpec
+	cellSpecs []Spec // expanded grid, fixed at submission
 
-	mu       sync.Mutex
-	state    JobState
-	results  []TrialResult
-	online   *stats.Online // live partial aggregate while running
-	final    *Aggregate    // Run's own aggregate, once done
-	errMsg   string
-	notify   chan struct{} // closed and replaced on every state change
-	created  time.Time
-	finished time.Time
+	mu          sync.Mutex
+	state       JobState
+	results     []TrialResult
+	online      *stats.Online   // live partial aggregate while running
+	final       *Aggregate      // Run's own aggregate, once done
+	cellResults []CellResult    // sweep results in (cell, trial) order
+	cellOnline  []*stats.Online // live per-cell aggregates
+	cellFinal   []CellSummary   // Sweep.Run's own summaries, once done
+	errMsg      string
+	notify      chan struct{} // closed and replaced on every state change
+	created     time.Time
+	finished    time.Time
 }
 
 // jobStatus is the wire form of a job's status.
@@ -123,6 +140,50 @@ func (j *Job) statusLocked() jobStatus {
 	return st
 }
 
+// sweepStatus is the wire form of a sweep job's status.
+type sweepStatus struct {
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	Spec      SweepSpec     `json:"spec"`
+	Cells     int           `json:"cells"`
+	Trials    int           `json:"trials"`    // total across cells
+	Completed int           `json:"completed"` // trials completed across cells
+	CellAggs  []CellSummary `json:"cell_aggregates,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// sweepStatusLocked renders the job's wire status; withCells selects
+// whether the per-cell aggregates are included (the list endpoint skips
+// them to keep listings compact and each job's lock hold short).
+func (j *Job) sweepStatusLocked(withCells bool) sweepStatus {
+	st := sweepStatus{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      *j.sweep,
+		Cells:     len(j.cellSpecs),
+		Trials:    len(j.cellSpecs) * j.sweep.Trials,
+		Completed: len(j.cellResults),
+		Error:     j.errMsg,
+	}
+	if !withCells {
+		return st
+	}
+	if j.cellFinal != nil {
+		st.CellAggs = j.cellFinal
+		return st
+	}
+	for i, spec := range j.cellSpecs {
+		cs := cellSummary(i, spec, nil)
+		if o := j.cellOnline[i]; o.N() > 0 {
+			if summary, err := o.Summary(); err == nil {
+				cs.Aggregate = &Aggregate{Completed: o.N(), Rounds: summary}
+			}
+		}
+		st.CellAggs = append(st.CellAggs, cs)
+	}
+	return st
+}
+
 // bump wakes every watcher of j. Callers hold j.mu.
 func (j *Job) bumpLocked() {
 	close(j.notify)
@@ -140,10 +201,12 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for the list endpoint
-	nextID int
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // submission order, for the list endpoint
+	sweeps     map[string]*Job
+	sweepOrder []string
+	nextID     int
 }
 
 // NewServer builds the service and starts its campaign workers.
@@ -158,9 +221,12 @@ func NewServer(cfg ServerConfig) *Server {
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[string]*Job),
+		sweeps: make(map[string]*Job),
 	}
 	s.mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
+	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("/v1/sweeps/", s.handleSweep)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -211,6 +277,11 @@ func (s *Server) runJob(job *Job) {
 		job.mu.Unlock()
 	}
 
+	if job.sweep != nil {
+		s.runSweepJob(job, fail)
+		return
+	}
+
 	campaign, err := Compile(job.spec, s.cache)
 	if err != nil {
 		fail(err)
@@ -229,6 +300,33 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.mu.Lock()
 	job.final = agg
+	job.state = StateDone
+	job.finished = time.Now()
+	job.bumpLocked()
+	job.mu.Unlock()
+}
+
+// runSweepJob executes a sweep job against the server's shared graph
+// cache, accumulating results in (cell, trial) order.
+func (s *Server) runSweepJob(job *Job, fail func(error)) {
+	sweep, err := CompileSweep(*job.sweep, s.cache)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cells, err := sweep.Run(s.ctx, func(r CellResult) {
+		job.mu.Lock()
+		job.cellResults = append(job.cellResults, r)
+		job.cellOnline[r.Cell].Add(float64(r.Rounds))
+		job.bumpLocked()
+		job.mu.Unlock()
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	job.mu.Lock()
+	job.cellFinal = cells
 	job.state = StateDone
 	job.finished = time.Now()
 	job.bumpLocked()
@@ -344,13 +442,23 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // streamResults writes the job's per-trial results as NDJSON in trial
 // order, following a live campaign until it reaches a terminal state.
 func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, job *Job) {
+	streamNDJSON(s, w, r, job, func() []TrialResult { return job.results })
+}
+
+// streamNDJSON is the shared live-follow loop behind the campaign and
+// sweep results endpoints: it encodes each element of the snapshot slice
+// as one NDJSON line, in order, waking on the job's notify channel until
+// the job reaches a terminal state. snapshot is called with job.mu held
+// and must return the job's full result slice (append-only, so the
+// delivered prefix never changes).
+func streamNDJSON[T any](s *Server, w http.ResponseWriter, r *http.Request, job *Job, snapshot func() []T) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
 		job.mu.Lock()
-		chunk := job.results[sent:]
+		chunk := snapshot()[sent:]
 		terminal := job.state == StateDone || job.state == StateFailed
 		wake := job.notify
 		job.mu.Unlock()
@@ -375,6 +483,132 @@ func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, job *Job)
 			return
 		}
 	}
+}
+
+// handleSweeps serves POST (submit) and GET (list) on /v1/sweeps.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submitSweep(w, r)
+	case http.MethodGet:
+		s.listSweeps(w)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Overflow-safe form of cells*Trials > MaxTrials (Trials arrives as an
+	// arbitrary JSON integer; the product must never wrap past the cap).
+	if cells := spec.CellCount(); spec.Trials > s.cfg.MaxTrials/cells {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep total of %d cells x %d trials exceeds this server's limit of %d (per-trial results are retained in memory)",
+				cells, spec.Trials, s.cfg.MaxTrials))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%06d", s.nextID)
+	s.mu.Unlock()
+	cellSpecs := spec.Cells()
+	job := &Job{
+		id:         id,
+		sweep:      &spec,
+		cellSpecs:  cellSpecs,
+		state:      StateQueued,
+		cellOnline: make([]*stats.Online, len(cellSpecs)),
+		notify:     make(chan struct{}),
+		created:    time.Now(),
+	}
+	for i := range job.cellOnline {
+		job.cellOnline[i] = stats.NewOnline()
+	}
+
+	// As for campaigns: reserve the queue slot before publishing the job.
+	select {
+	case s.queue <- job:
+	default:
+		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
+		return
+	}
+	s.mu.Lock()
+	s.sweeps[id] = job
+	s.sweepOrder = append(s.sweepOrder, id)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/sweeps/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":          id,
+		"status_url":  "/v1/sweeps/" + id,
+		"results_url": "/v1/sweeps/" + id + "/results",
+		"table_url":   "/v1/sweeps/" + id + "/table",
+	})
+}
+
+func (s *Server) listSweeps(w http.ResponseWriter) {
+	s.mu.Lock()
+	out := make([]sweepStatus, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		job := s.sweeps[id]
+		job.mu.Lock()
+		st := job.sweepStatusLocked(false)
+		job.mu.Unlock()
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+// handleSweep serves /v1/sweeps/{id}, …/results and …/table.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	job, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep "+id)
+		return
+	}
+	switch sub {
+	case "":
+		job.mu.Lock()
+		st := job.sweepStatusLocked(true)
+		job.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	case "results":
+		s.streamSweepResults(w, r, job)
+	case "table":
+		job.mu.Lock()
+		st := job.sweepStatusLocked(true)
+		job.mu.Unlock()
+		header, rows := SummaryTable(st.CellAggs)
+		writeJSON(w, http.StatusOK, map[string]any{"header": header, "rows": rows})
+	default:
+		httpError(w, http.StatusNotFound, "unknown subresource "+sub)
+	}
+}
+
+// streamSweepResults writes the sweep's trial results as NDJSON in
+// (cell, trial) order, following a live sweep until it reaches a
+// terminal state (the sweep twin of streamResults).
+func (s *Server) streamSweepResults(w http.ResponseWriter, r *http.Request, job *Job) {
+	streamNDJSON(s, w, r, job, func() []CellResult { return job.cellResults })
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -333,6 +333,236 @@ func TestServiceShutdownAbortsRunning(t *testing.T) {
 	}
 }
 
+func postSweep(t *testing.T, ts *httptest.Server, spec SweepSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] == "" || out["table_url"] == "" {
+		t.Fatalf("sweep submit payload %v", out)
+	}
+	return out["id"]
+}
+
+func awaitSweepState(t *testing.T, ts *httptest.Server, id string, want JobState) sweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st sweepStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("sweep failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in %s awaiting %s", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchSweepResults(t *testing.T, ts *httptest.Server, id string) []CellResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep results: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("sweep results content type %q", ct)
+	}
+	var out []CellResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r CellResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The sweep determinism contract over the wire: a sweep submitted over
+// HTTP yields exactly the flattened results and per-cell aggregates of
+// CompileSweep + Run, cold and warm, and the streamed NDJSON opened while
+// the sweep runs follows it live in (cell, trial) order.
+func TestServiceSweepMatchesLibraryPath(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Workers = 2
+	libResults, libCells := runSweep(t, spec, nil)
+
+	svc, ts := newTestServer(t, ServerConfig{})
+	for _, label := range []string{"cold", "warm"} {
+		id := postSweep(t, ts, spec)
+		got := fetchSweepResults(t, ts, id) // follows the live sweep until done
+		if len(got) != len(libResults) {
+			t.Fatalf("%s: %d results, want %d", label, len(got), len(libResults))
+		}
+		for i := range got {
+			if got[i] != libResults[i] {
+				t.Fatalf("%s cache: result %d over HTTP %+v != library %+v", label, i, got[i], libResults[i])
+			}
+		}
+		st := awaitSweepState(t, ts, id, StateDone)
+		if st.Cells != spec.CellCount() || st.Completed != spec.CellCount()*spec.Trials {
+			t.Fatalf("%s: status cells=%d completed=%d", label, st.Cells, st.Completed)
+		}
+		if len(st.CellAggs) != len(libCells) {
+			t.Fatalf("%s: %d cell aggregates, want %d", label, len(st.CellAggs), len(libCells))
+		}
+		for i := range st.CellAggs {
+			if st.CellAggs[i].Aggregate == nil || *st.CellAggs[i].Aggregate != *libCells[i].Aggregate {
+				t.Fatalf("%s cache: cell %d aggregate over HTTP differs from library", label, i)
+			}
+		}
+	}
+	// Two sweep submissions x 8 cells: each distinct graph compiled once.
+	hits, misses, _ := svc.CacheStats()
+	if misses != 2 || hits != 14 {
+		t.Fatalf("graph cache hits=%d misses=%d, want 14/2", hits, misses)
+	}
+}
+
+// The aggregate-table endpoint serves the cross-cell grid.
+func TestServiceSweepTable(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Graphs = spec.Graphs[:1]
+	spec.Trials = 3
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postSweep(t, ts, spec)
+	awaitSweepState(t, ts, id, StateDone)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var table struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != spec.CellCount() {
+		t.Fatalf("table has %d rows for %d cells", len(table.Rows), spec.CellCount())
+	}
+	for _, row := range table.Rows {
+		if len(row) != len(table.Header) {
+			t.Fatalf("ragged table row %v", row)
+		}
+	}
+}
+
+func TestServiceSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	for name, body := range map[string]string{
+		"bad json":      "{",
+		"unknown field": `{"graphs":["cycle:8"],"processes":["cobra"],"branches":[2],"trials":1,"seed":1,"bogus":3}`,
+		"bad axis":      `{"graphs":["cycle:8"],"processes":["warp"],"branches":[2],"trials":1,"seed":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// The MaxTrials cap applies to the sweep total (cells x trials), and a
+	// trial count huge enough to overflow the product must not slip past it.
+	for _, trials := range []int{200_000 /* 8 cells x 200k = 1.6M > 1M */, 1 << 61 /* 8 x 2^61 wraps to 0 */} {
+		huge := testSweepSpec()
+		huge.Trials = trials
+		body, _ := json.Marshal(huge)
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("oversized sweep (trials=%d): status %d, want 400", trials, resp.StatusCode)
+		}
+	}
+
+	for _, path := range []string{"/v1/sweeps/s999999", "/v1/sweeps/s999999/results", "/v1/sweeps/s999999/table"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Campaign ids and sweep ids live in separate namespaces.
+	cid := postCampaign(t, ts, Spec{Graph: "cycle:8", Process: "cobra", Branch: 2, Trials: 1, Seed: 1})
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("campaign id served as sweep: status %d", resp.StatusCode)
+	}
+}
+
+func TestServiceSweepList(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Graphs = spec.Graphs[:1]
+	spec.Processes = spec.Processes[:1]
+	spec.Trials = 2
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postSweep(t, ts, spec)
+	awaitSweepState(t, ts, id, StateDone)
+	resp, err := http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sweeps []sweepStatus `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 1 || list.Sweeps[0].ID != id {
+		t.Fatalf("sweep list %+v", list.Sweeps)
+	}
+}
+
 // awaitStateRaw is awaitState without the fail-on-StateFailed shortcut.
 func awaitStateRaw(t *testing.T, ts *httptest.Server, id string, want JobState) jobStatus {
 	t.Helper()

@@ -1,0 +1,307 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/repro/cobra/internal/engine"
+	"github.com/repro/cobra/internal/graphspec"
+)
+
+// Parameter-sweep campaigns: one submission carrying axes whose cross
+// product expands to a deterministic ordered grid of campaign cells, all
+// run through the existing campaign scheduler so distinct graphs compile
+// exactly once (LRU cache) and engine workspaces are shared across cells.
+//
+// # Cell ordering
+//
+// Cells() expands the axes row-major in declaration order — graphs
+// outermost, then processes, then branches, then rhos innermost:
+//
+//	cell index c = ((gi·|P| + pi)·|B| + bi)·|R| + ri
+//
+// Graphs vary slowest by design: consecutive cells share a graph, so even
+// a capacity-1 cache and a cold workspace pool stay warm through a whole
+// graph's block of cells.
+//
+// # Sweep determinism contract
+//
+// Every cell carries the sweep's master seed, so trial k of cell c is a
+// pure function of (cell spec, sweep seed, k) — and is *byte-identical*
+// to trial k of the standalone campaign obtained by submitting cell c's
+// Spec on its own (same graph spec, config, and seed). Cells execute and
+// deliver in cell-index order, trials in trial-index order within each
+// cell, so the flattened result stream and all aggregates are independent
+// of worker count, cache temperature, workspace sharing, and the HTTP vs
+// library entry point. sweep_test.go and service_test.go enforce every
+// clause under the race detector.
+
+// SweepSpec describes a parameter-sweep campaign: the cross product of
+// the axes (Graphs × Processes × Branches × Rhos) expands to a grid of
+// campaign cells sharing the scalar fields below. The JSON field names
+// are the cobrad wire format (POST /v1/sweeps).
+type SweepSpec struct {
+	// Graphs is the graph-spec axis; distinct entries (one or more).
+	Graphs []string `json:"graphs"`
+	// Processes is the process axis: entries from {"cobra", "bips"}.
+	Processes []string `json:"processes"`
+	// Branches is the integer branching-factor axis (each >= 1).
+	Branches []int `json:"branches"`
+	// Rhos is the fractional-branch axis (each in [0,1]); empty means the
+	// single value 0.
+	Rhos []float64 `json:"rhos,omitempty"`
+	// Lazy selects the lazy variant for every cell.
+	Lazy bool `json:"lazy,omitempty"`
+	// Start is the start vertex / BIPS source for every cell.
+	Start int `json:"start"`
+	// Trials is the number of independent trials per cell.
+	Trials int `json:"trials"`
+	// Seed is the sweep master seed; every cell campaign carries it, and
+	// it also seeds random graph families.
+	Seed uint64 `json:"seed"`
+	// Workers bounds trial-level parallelism within a cell (<= 0:
+	// GOMAXPROCS). It never affects results, only wall-clock time.
+	Workers int `json:"workers,omitempty"`
+	// MaxRounds caps a single trial (0: library default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// rhos returns the rho axis with the empty default applied.
+func (s SweepSpec) rhos() []float64 {
+	if len(s.Rhos) == 0 {
+		return []float64{0}
+	}
+	return s.Rhos
+}
+
+// CellCount returns the number of cells the sweep expands to.
+func (s SweepSpec) CellCount() int {
+	return len(s.Graphs) * len(s.Processes) * len(s.Branches) * len(s.rhos())
+}
+
+// Validate checks every axis and scalar without building any graph.
+// Axis entries must be valid and pairwise distinct (graphs by canonical
+// form), so each cell is a distinct (spec, config) point of the grid.
+func (s SweepSpec) Validate() error {
+	if len(s.Graphs) == 0 || len(s.Processes) == 0 || len(s.Branches) == 0 {
+		return fmt.Errorf("%w: sweep needs at least one graph, process and branch", ErrInput)
+	}
+	seenGraph := make(map[string]string, len(s.Graphs))
+	for _, spec := range s.Graphs {
+		canon, err := graphspec.Canonical(spec)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInput, err)
+		}
+		if prev, dup := seenGraph[canon]; dup {
+			return fmt.Errorf("%w: duplicate graph axis entries %q and %q", ErrInput, prev, spec)
+		}
+		seenGraph[canon] = spec
+	}
+	seenProc := make(map[string]bool, len(s.Processes))
+	for _, proc := range s.Processes {
+		p := strings.ToLower(proc)
+		switch p {
+		case "cobra", "bips":
+		default:
+			return fmt.Errorf("%w: process must be cobra or bips, got %q", ErrInput, proc)
+		}
+		if seenProc[p] {
+			return fmt.Errorf("%w: duplicate process axis entry %q", ErrInput, proc)
+		}
+		seenProc[p] = true
+	}
+	seenBranch := make(map[int]bool, len(s.Branches))
+	for _, b := range s.Branches {
+		if b < 1 {
+			return fmt.Errorf("%w: branch must be >= 1, got %d", ErrInput, b)
+		}
+		if seenBranch[b] {
+			return fmt.Errorf("%w: duplicate branch axis entry %d", ErrInput, b)
+		}
+		seenBranch[b] = true
+	}
+	seenRho := make(map[float64]bool, len(s.rhos()))
+	for _, rho := range s.rhos() {
+		if rho < 0 || rho > 1 {
+			return fmt.Errorf("%w: rho must be in [0,1], got %v", ErrInput, rho)
+		}
+		if seenRho[rho] {
+			return fmt.Errorf("%w: duplicate rho axis entry %v", ErrInput, rho)
+		}
+		seenRho[rho] = true
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("%w: start must be >= 0, got %d", ErrInput, s.Start)
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("%w: trials must be >= 1, got %d", ErrInput, s.Trials)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("%w: max_rounds must be >= 0, got %d", ErrInput, s.MaxRounds)
+	}
+	return nil
+}
+
+// Cells expands the sweep into its ordered grid of campaign specs (see
+// the cell-ordering contract above). Cell c of a valid sweep satisfies
+// Cells()[c].Validate() == nil, and running it as a standalone campaign
+// reproduces the sweep cell byte for byte.
+func (s SweepSpec) Cells() []Spec {
+	cells := make([]Spec, 0, s.CellCount())
+	for _, g := range s.Graphs {
+		for _, proc := range s.Processes {
+			for _, b := range s.Branches {
+				for _, rho := range s.rhos() {
+					cells = append(cells, Spec{
+						Graph:     g,
+						Process:   strings.ToLower(proc),
+						Branch:    b,
+						Rho:       rho,
+						Lazy:      s.Lazy,
+						Start:     s.Start,
+						Trials:    s.Trials,
+						Seed:      s.Seed,
+						Workers:   s.Workers,
+						MaxRounds: s.MaxRounds,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// CellResult is one trial measurement tagged with its cell index; the
+// embedded TrialResult fields are flattened on the wire (the NDJSON line
+// format of GET /v1/sweeps/{id}/results).
+type CellResult struct {
+	Cell int `json:"cell"`
+	TrialResult
+}
+
+// CellSummary is the per-cell aggregate row of a sweep: the cell's grid
+// coordinates plus its online rounds summary.
+type CellSummary struct {
+	Cell      int        `json:"cell"`
+	Graph     string     `json:"graph"`
+	Process   string     `json:"process"`
+	Branch    int        `json:"branch"`
+	Rho       float64    `json:"rho"`
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+}
+
+// Sweep is a compiled sweep: every cell campaign compiled against one
+// shared graph cache and one shared workspace pool.
+type Sweep struct {
+	spec  SweepSpec
+	cells []*Campaign
+	cache *Cache
+}
+
+// CompileSweep validates spec and compiles every cell. Cells sharing a
+// graph spec share one compiled graph: with a caller-provided cache each
+// distinct graph is built at most once across the sweep *and* every other
+// campaign using that cache; with a nil cache the sweep creates a private
+// cache sized to its own graph axis, preserving the single-compile
+// guarantee sweep-locally.
+func CompileSweep(spec SweepSpec, cache *Cache) (*Sweep, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = NewCache(len(spec.Graphs))
+	}
+	pool := &sync.Pool{New: func() any { return engine.NewWorkspace() }}
+	cellSpecs := spec.Cells()
+	cells := make([]*Campaign, len(cellSpecs))
+	for i, cs := range cellSpecs {
+		c, err := compile(cs, cache, pool)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d (%s): %w", i, cellName(cs), err)
+		}
+		cells[i] = c
+	}
+	return &Sweep{spec: spec, cells: cells, cache: cache}, nil
+}
+
+// Spec returns the sweep specification.
+func (sw *Sweep) Spec() SweepSpec { return sw.spec }
+
+// Cells returns the compiled cell campaigns in cell-index order.
+func (sw *Sweep) Cells() []*Campaign { return sw.cells }
+
+// CacheStats exposes the sweep's graph-cache counters (the caller's cache
+// when one was provided).
+func (sw *Sweep) CacheStats() (hits, misses int64, size int) { return sw.cache.Stats() }
+
+// Run executes every cell in cell-index order and returns the per-cell
+// summaries. Completed trials are delivered to onResult (may be nil) in
+// (cell, trial) order, each before it is folded into its cell's
+// aggregate. Trial-level parallelism within a cell follows the spec's
+// Workers; cells themselves run sequentially, which keeps the flattened
+// result stream deterministic and the shared cache/workspace pool warm.
+// Cancel ctx to abort; the first failing cell stops the sweep.
+func (sw *Sweep) Run(ctx context.Context, onResult func(CellResult)) ([]CellSummary, error) {
+	summaries := make([]CellSummary, len(sw.cells))
+	for i, c := range sw.cells {
+		var cb func(TrialResult)
+		if onResult != nil {
+			cell := i
+			cb = func(r TrialResult) { onResult(CellResult{Cell: cell, TrialResult: r}) }
+		}
+		agg, err := c.Run(ctx, cb)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d (%s): %w", i, cellName(c.spec), err)
+		}
+		summaries[i] = cellSummary(i, c.spec, agg)
+	}
+	return summaries, nil
+}
+
+func cellSummary(i int, spec Spec, agg *Aggregate) CellSummary {
+	return CellSummary{
+		Cell:      i,
+		Graph:     spec.Graph,
+		Process:   spec.Process,
+		Branch:    spec.Branch,
+		Rho:       spec.Rho,
+		Aggregate: agg,
+	}
+}
+
+// cellName renders a cell's grid coordinates for error messages and logs.
+func cellName(s Spec) string {
+	name := fmt.Sprintf("%s %s b=%d", s.Graph, s.Process, s.Branch)
+	if s.Rho > 0 {
+		name += fmt.Sprintf("+%g", s.Rho)
+	}
+	return name
+}
+
+// SummaryTable renders per-cell summaries as a cross-cell grid: a header
+// plus one row of formatted cells per sweep cell, ready for CSV or
+// aligned-table output (and the JSON body of GET /v1/sweeps/{id}/table).
+func SummaryTable(cells []CellSummary) (header []string, rows [][]string) {
+	header = []string{"cell", "graph", "process", "branch", "rho",
+		"trials", "mean", "median", "q25", "q75", "min", "max", "std"}
+	rows = make([][]string, 0, len(cells))
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, c := range cells {
+		row := []string{
+			strconv.Itoa(c.Cell), c.Graph, c.Process,
+			strconv.Itoa(c.Branch), strconv.FormatFloat(c.Rho, 'g', -1, 64),
+		}
+		if c.Aggregate != nil {
+			r := c.Aggregate.Rounds
+			row = append(row, strconv.Itoa(c.Aggregate.Completed),
+				f(r.Mean), f(r.Median), f(r.Q25), f(r.Q75), f(r.Min), f(r.Max), f(r.Std))
+		} else {
+			row = append(row, "0", "", "", "", "", "", "", "")
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}

@@ -1,0 +1,222 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func testSweepSpec() SweepSpec {
+	return SweepSpec{
+		Graphs:    []string{"ba:400:3", "rreg:256:3"},
+		Processes: []string{"cobra", "bips"},
+		Branches:  []int{2, 3},
+		Start:     0,
+		Trials:    10,
+		Seed:      11,
+	}
+}
+
+func runSweep(t *testing.T, spec SweepSpec, cache *Cache) ([]CellResult, []CellSummary) {
+	t.Helper()
+	sw, err := CompileSweep(spec, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []CellResult
+	cells, err := sw.Run(context.Background(), func(r CellResult) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, cells
+}
+
+func TestSweepSpecValidate(t *testing.T) {
+	if err := testSweepSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*SweepSpec){
+		func(s *SweepSpec) { s.Graphs = nil },
+		func(s *SweepSpec) { s.Graphs = []string{"nope:4"} },
+		func(s *SweepSpec) { s.Graphs = []string{"ba:400:3", "BA:0400:3"} }, // same canonical form
+		func(s *SweepSpec) { s.Processes = nil },
+		func(s *SweepSpec) { s.Processes = []string{"walk"} },
+		func(s *SweepSpec) { s.Processes = []string{"cobra", "COBRA"} },
+		func(s *SweepSpec) { s.Branches = nil },
+		func(s *SweepSpec) { s.Branches = []int{0} },
+		func(s *SweepSpec) { s.Branches = []int{2, 2} },
+		func(s *SweepSpec) { s.Rhos = []float64{2} },
+		func(s *SweepSpec) { s.Rhos = []float64{0.5, 0.5} },
+		func(s *SweepSpec) { s.Start = -1 },
+		func(s *SweepSpec) { s.Trials = 0 },
+		func(s *SweepSpec) { s.MaxRounds = -1 },
+	}
+	for i, mutate := range bad {
+		s := testSweepSpec()
+		mutate(&s)
+		if err := s.Validate(); !errors.Is(err, ErrInput) {
+			t.Fatalf("bad sweep %d accepted", i)
+		}
+	}
+}
+
+// The cell-ordering contract: row-major with graphs outermost, then
+// processes, branches, rhos; every cell carries the sweep's scalars.
+func TestSweepCellOrder(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Rhos = []float64{0, 0.5}
+	cells := spec.Cells()
+	if len(cells) != spec.CellCount() || len(cells) != 2*2*2*2 {
+		t.Fatalf("cell count %d", len(cells))
+	}
+	for gi, g := range spec.Graphs {
+		for pi, proc := range spec.Processes {
+			for bi, b := range spec.Branches {
+				for ri, rho := range spec.Rhos {
+					c := ((gi*2+pi)*2+bi)*2 + ri
+					cell := cells[c]
+					if cell.Graph != g || cell.Process != proc || cell.Branch != b || cell.Rho != rho {
+						t.Fatalf("cell %d = %+v, want (%s,%s,%d,%g)", c, cell, g, proc, b, rho)
+					}
+					if cell.Seed != spec.Seed || cell.Trials != spec.Trials || cell.Start != spec.Start {
+						t.Fatalf("cell %d lost sweep scalars: %+v", c, cell)
+					}
+					if err := cell.Validate(); err != nil {
+						t.Fatalf("cell %d invalid: %v", c, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The sweep determinism contract, clause by clause: the flattened result
+// stream is identical across worker counts {1, 2, GOMAXPROCS} and cold vs
+// warm cache, each distinct graph compiles exactly once per cache, and
+// every cell is byte-identical to the same spec run as a standalone
+// campaign.
+func TestSweepDeterminismAndStandaloneEquivalence(t *testing.T) {
+	spec := testSweepSpec()
+
+	spec.Workers = 1
+	baseline, baseCells := runSweep(t, spec, nil)
+	if len(baseline) != spec.CellCount()*spec.Trials {
+		t.Fatalf("%d results for %d cells x %d trials", len(baseline), spec.CellCount(), spec.Trials)
+	}
+	for i, r := range baseline {
+		if want := i / spec.Trials; r.Cell != want || r.Trial != i%spec.Trials {
+			t.Fatalf("result %d out of (cell, trial) order: %+v", i, r)
+		}
+	}
+
+	cache := NewCache(4)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, label := range []string{"cold", "warm"} {
+			spec.Workers = workers
+			results, cells := runSweep(t, spec, cache)
+			if len(results) != len(baseline) {
+				t.Fatalf("workers=%d %s: result count %d", workers, label, len(results))
+			}
+			for i := range results {
+				if results[i] != baseline[i] {
+					t.Fatalf("workers=%d %s cache: result %d differs: %+v vs %+v",
+						workers, label, i, results[i], baseline[i])
+				}
+			}
+			for i := range cells {
+				if *cells[i].Aggregate != *baseCells[i].Aggregate {
+					t.Fatalf("workers=%d %s cache: cell %d aggregate differs", workers, label, i)
+				}
+			}
+		}
+	}
+	// Six sweep compilations of 8 cells each touched the cache 48 times;
+	// each of the 2 distinct graphs was built exactly once.
+	hits, misses, _ := cache.Stats()
+	if misses != 2 || hits != 46 {
+		t.Fatalf("cache hits=%d misses=%d, want 46/2 (single compile per distinct graph)", hits, misses)
+	}
+
+	// Standalone equivalence: submitting any cell's spec as its own
+	// campaign reproduces the sweep cell byte for byte.
+	for c, cellSpec := range spec.Cells() {
+		results, agg := runCampaign(t, cellSpec, nil)
+		for k, r := range results {
+			if got := baseline[c*spec.Trials+k]; got.TrialResult != r {
+				t.Fatalf("cell %d trial %d: sweep %+v vs standalone campaign %+v", c, k, got.TrialResult, r)
+			}
+		}
+		if *agg != *baseCells[c].Aggregate {
+			t.Fatalf("cell %d: sweep aggregate %+v vs standalone %+v", c, *baseCells[c].Aggregate, *agg)
+		}
+	}
+}
+
+// A nil cache still guarantees single compilation per distinct graph,
+// sweep-locally.
+func TestSweepPrivateCacheSingleCompile(t *testing.T) {
+	spec := testSweepSpec()
+	sw, err := CompileSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, size := sw.CacheStats()
+	if misses != int64(len(spec.Graphs)) || size != len(spec.Graphs) {
+		t.Fatalf("misses=%d size=%d, want one build per distinct graph (%d)", misses, size, len(spec.Graphs))
+	}
+	if wantHits := int64(spec.CellCount() - len(spec.Graphs)); hits != wantHits {
+		t.Fatalf("hits=%d, want %d", hits, wantHits)
+	}
+	// Cells of the same graph share the identical compiled instance.
+	perGraph := spec.CellCount() / len(spec.Graphs)
+	cells := sw.Cells()
+	for i := 1; i < perGraph; i++ {
+		if cells[i].Graph() != cells[0].Graph() {
+			t.Fatalf("cells 0 and %d of the same graph spec hold different graph instances", i)
+		}
+	}
+	if cells[0].Graph() == cells[perGraph].Graph() {
+		t.Fatal("cells of different graph specs share a graph instance")
+	}
+}
+
+// A failing cell aborts the sweep with the cell named in the error.
+func TestSweepCellFailure(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Graphs = []string{"path:400"}
+	spec.Processes = []string{"cobra"}
+	spec.MaxRounds = 2 // a 400-path cannot cover in 2 rounds
+	sw, err := CompileSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sw.Run(context.Background(), nil)
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("want ErrRoundLimit, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cell 0") {
+		t.Fatalf("error lost its cell index: %v", err)
+	}
+}
+
+// The cross-cell summary grid: one row per cell, aligned with the header.
+func TestSweepSummaryTable(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Graphs = spec.Graphs[:1]
+	spec.Processes = spec.Processes[:1]
+	_, cells := runSweep(t, spec, nil)
+	header, rows := SummaryTable(cells)
+	if len(rows) != len(cells) {
+		t.Fatalf("%d rows for %d cells", len(rows), len(cells))
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			t.Fatalf("row %d has %d cells, header %d", i, len(row), len(header))
+		}
+		if row[1] != spec.Graphs[0] || row[2] != "cobra" {
+			t.Fatalf("row %d coordinates wrong: %v", i, row)
+		}
+	}
+}

@@ -114,13 +114,22 @@ type Process struct {
 // rounds' master seed is one Uint64 drawn from rng at construction; rng
 // additionally feeds SerialRound's per-step decisions.
 func New(g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (*Process, error) {
+	return NewWith(engine.NewWorkspace(), g, cfg, source, rng)
+}
+
+// NewWith is New constructing the kernel through ws (see engine.Workspace
+// for the reuse contract): the trajectory is identical to New from the
+// same (graph, config, source, rng state), with none of the per-trial
+// kernel allocations and with connectivity verified once per distinct
+// graph. The previous kernel built through ws becomes invalid.
+func NewWith(ws *engine.Workspace, g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (*Process, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("%w: %d", ErrSource, source)
 	}
-	k, err := engine.NewBips(g, cfg.engineParams(1), source, rng.Uint64())
+	k, err := engine.NewBipsWith(ws, g, cfg.engineParams(1), source, rng.Uint64())
 	if err != nil {
 		return nil, translateEngineErr(err)
 	}
@@ -187,6 +196,18 @@ func (p *Process) Run() (int, error) {
 // InfectionTime runs one BIPS trial and returns infec(source).
 func InfectionTime(g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (int, error) {
 	p, err := New(g, cfg, source, rng)
+	if err != nil {
+		return 0, err
+	}
+	return p.Run()
+}
+
+// InfectionTimeWith is InfectionTime with the kernel built through ws:
+// the same result bit for bit, amortizing allocations and the
+// connectivity check across trials (the hot-loop form for repeated
+// trials on shared graphs).
+func InfectionTimeWith(ws *engine.Workspace, g *graph.Graph, cfg Config, source int, rng *xrand.RNG) (int, error) {
+	p, err := NewWith(ws, g, cfg, source, rng)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,41 @@
+package bips
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/engine"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// InfectionTimeWith must reproduce InfectionTime bit for bit from the
+// same stream, with one workspace reused across trials and graphs.
+func TestInfectionTimeWithMatchesInfectionTime(t *testing.T) {
+	gen := xrand.New(7)
+	rr, err := graph.RandomRegular(200, 3, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*graph.Graph{rr, graph.Complete(64)}
+	cfgs := []Config{{Branch: 2}, {Branch: 1, Rho: 0.25}}
+	ws := engine.NewWorkspace()
+	for _, g := range graphs {
+		for _, cfg := range cfgs {
+			for trial := 0; trial < 5; trial++ {
+				seed := uint64(trial + 1)
+				want, err := InfectionTime(g, cfg, 0, xrand.NewStream(seed, 9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := InfectionTimeWith(ws, g, cfg, 0, xrand.NewStream(seed, 9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s %+v trial %d: with-workspace %d vs fresh %d",
+						g.Name(), cfg, trial, got, want)
+				}
+			}
+		}
+	}
+}

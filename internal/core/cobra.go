@@ -111,6 +111,15 @@ type Process struct {
 // kernel's master seed is one Uint64 drawn from rng, so the whole
 // trajectory is a pure function of the rng's state at this call.
 func New(g *graph.Graph, cfg Config, start []int, rng *xrand.RNG) (*Process, error) {
+	return NewWith(engine.NewWorkspace(), g, cfg, start, rng)
+}
+
+// NewWith is New constructing the kernel through ws (see engine.Workspace
+// for the reuse contract): the trajectory is identical to New from the
+// same (graph, config, start, rng state), with none of the per-trial
+// kernel allocations and with connectivity verified once per distinct
+// graph. The previous kernel built through ws becomes invalid.
+func NewWith(ws *engine.Workspace, g *graph.Graph, cfg Config, start []int, rng *xrand.RNG) (*Process, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,7 +131,7 @@ func New(g *graph.Graph, cfg Config, start []int, rng *xrand.RNG) (*Process, err
 			return nil, fmt.Errorf("%w: vertex %d out of range", ErrStart, v)
 		}
 	}
-	k, err := engine.NewCobra(g, cfg.engineParams(1), start, rng.Uint64())
+	k, err := engine.NewCobraWith(ws, g, cfg.engineParams(1), start, rng.Uint64())
 	if err != nil {
 		return nil, translateEngineErr(err)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/xrand"
 )
@@ -13,6 +14,17 @@ import (
 // cover(start): the number of rounds until all vertices have been visited.
 func CoverTime(g *graph.Graph, cfg Config, start int, rng *xrand.RNG) (int, error) {
 	p, err := New(g, cfg, []int{start}, rng)
+	if err != nil {
+		return 0, err
+	}
+	return p.Run()
+}
+
+// CoverTimeWith is CoverTime with the kernel built through ws: the same
+// result bit for bit, amortizing allocations and the connectivity check
+// across trials (the hot-loop form for repeated trials on shared graphs).
+func CoverTimeWith(ws *engine.Workspace, g *graph.Graph, cfg Config, start int, rng *xrand.RNG) (int, error) {
+	p, err := NewWith(ws, g, cfg, []int{start}, rng)
 	if err != nil {
 		return 0, err
 	}

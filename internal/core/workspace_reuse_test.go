@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/cobra/internal/engine"
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// CoverTimeWith must reproduce CoverTime bit for bit from the same
+// stream, even when one workspace is reused across trials and across
+// graphs of different sizes (the experiments hot-loop pattern).
+func TestCoverTimeWithMatchesCoverTime(t *testing.T) {
+	gen := xrand.New(7)
+	rr, err := graph.RandomRegular(200, 3, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*graph.Graph{rr, graph.Complete(64), graph.Cycle(300)}
+	cfgs := []Config{{Branch: 2}, {Branch: 1, Rho: 0.5}, {Branch: 2, Lazy: true}}
+	ws := engine.NewWorkspace()
+	for _, g := range graphs {
+		for _, cfg := range cfgs {
+			for trial := 0; trial < 5; trial++ {
+				seed := uint64(trial + 1)
+				want, err := CoverTime(g, cfg, 0, xrand.NewStream(seed, 9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := CoverTimeWith(ws, g, cfg, 0, xrand.NewStream(seed, 9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s %+v trial %d: with-workspace %d vs fresh %d",
+						g.Name(), cfg, trial, got, want)
+				}
+			}
+		}
+	}
+}

@@ -37,10 +37,7 @@ func AblationReplacement(p Params) (*sim.Table, error) {
 	}
 	for gi, g := range graphs {
 		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa100+gi), Workers: p.Workers}
-		with, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
-			return float64(t), err
-		})
+		with, err := runner.RunMeans(trials, coverTrial(g, core.Config{Branch: 2}))
 		if err != nil {
 			return nil, err
 		}
@@ -127,17 +124,11 @@ func AblationLazy(p Params) (*sim.Table, error) {
 	}
 	for gi, g := range graphs {
 		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa200+gi), Workers: p.Workers}
-		plain, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
-			return float64(t), err
-		})
+		plain, err := runner.RunMeans(trials, coverTrial(g, core.Config{Branch: 2}))
 		if err != nil {
 			return nil, err
 		}
-		lazy, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			t, err := core.CoverTime(g, core.Config{Branch: 2, Lazy: true}, 0, rng)
-			return float64(t), err
-		})
+		lazy, err := runner.RunMeans(trials, coverTrial(g, core.Config{Branch: 2, Lazy: true}))
 		if err != nil {
 			return nil, err
 		}
@@ -165,10 +156,7 @@ func AblationParallel(p Params) (*sim.Table, error) {
 	graphs := []*graph.Graph{rr, graph.Complete(pick(p, 128, 1024))}
 	for gi, g := range graphs {
 		runner := sim.Runner{Seed: p.Seed ^ uint64(0xa300+gi), Workers: p.Workers}
-		serialXs, err := runner.Run(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
-			return float64(t), err
-		})
+		serialXs, err := runner.Run(trials, coverTrial(g, core.Config{Branch: 2}))
 		if err != nil {
 			return nil, err
 		}

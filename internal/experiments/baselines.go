@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/repro/cobra/internal/bips"
+	"github.com/repro/cobra/internal/batch"
 	"github.com/repro/cobra/internal/core"
 	"github.com/repro/cobra/internal/gossip"
 	"github.com/repro/cobra/internal/graph"
@@ -19,39 +20,42 @@ import (
 // rounds·ρ and rounds·ρ²: the paper's 1/ρ² factor is an upper-bound
 // envelope, so rounds·ρ² must be bounded (non-increasing in 1/ρ), while
 // the empirically dominant cost is closer to 1/ρ.
+//
+// The ρ sweep is one batch.Sweep submission (graphs × {cobra, bips} ×
+// b=1 × rhos): each graph compiles once and is shared by its eight cells.
 func E6Fractional(p Params) (*sim.Table, error) {
 	trials := pick(p, 8, 40)
 	tb := sim.NewTable("E6: Section 6 — fractional branching b = 1+rho",
 		"graph", "rho", "cover", "cover*rho", "cover*rho^2", "infect", "infect*rho^2")
 	tb.Note = "paper: rounds scale at most by 1/rho^2 vs b=2; rounds*rho^2 must stay bounded"
-	gen := xrand.New(p.Seed ^ 0xe6)
 
-	rr, err := graph.RandomRegular(pick(p, 64, 512), 4, gen)
-	if err != nil {
-		return nil, err
-	}
-	graphs := []*graph.Graph{rr, graph.Complete(pick(p, 64, 512))}
+	n := pick(p, 64, 512)
 	rhos := []float64{1, 0.5, 0.25, 0.125}
-	for gi, g := range graphs {
+	sweep := batch.SweepSpec{
+		Graphs:    []string{fmt.Sprintf("rreg:%d:4", n), fmt.Sprintf("complete:%d", n)},
+		Processes: []string{"cobra", "bips"},
+		Branches:  []int{1},
+		Rhos:      rhos,
+		Trials:    trials,
+		Seed:      p.Seed,
+		Workers:   p.Workers,
+	}
+	sw, err := batch.CompileSweep(sweep, nil)
+	if err != nil {
+		return nil, fmt.Errorf("E6: %w", err)
+	}
+	cells, err := sw.Run(context.Background(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("E6: %w", err)
+	}
+	// Cell order: graphs outermost, then process, then rho innermost.
+	perGraph := len(sweep.Processes) * len(rhos)
+	for gi := range sweep.Graphs {
+		name := sw.Cells()[gi*perGraph].Graph().Name()
 		for ri, rho := range rhos {
-			ccfg := core.Config{Branch: 1, Rho: rho}
-			bcfg := bips.Config{Branch: 1, Rho: rho}
-			runner := sim.Runner{Seed: p.Seed ^ uint64(gi*16+ri), Workers: p.Workers}
-			cover, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-				t, err := core.CoverTime(g, ccfg, 0, rng)
-				return float64(t), err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E6 cover %s rho=%v: %w", g.Name(), rho, err)
-			}
-			infect, err := runner.RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-				t, err := bips.InfectionTime(g, bcfg, 0, rng)
-				return float64(t), err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E6 infect %s rho=%v: %w", g.Name(), rho, err)
-			}
-			tb.AddRow(g.Name(), rho,
+			cover := cells[gi*perGraph+ri].Aggregate.Rounds.Mean
+			infect := cells[gi*perGraph+len(rhos)+ri].Aggregate.Rounds.Mean
+			tb.AddRow(name, rho,
 				fmt.Sprintf("%.1f", cover),
 				fmt.Sprintf("%.1f", cover*rho),
 				fmt.Sprintf("%.1f", cover*rho*rho),
@@ -87,13 +91,7 @@ func E12Baselines(p Params) (*sim.Table, error) {
 	for gi, g := range graphs {
 		runner := sim.Runner{Seed: p.Seed ^ uint64(0x12000+gi), Workers: p.Workers}
 		type agg struct{ cobraR, cobraM, rw, multi, pushR, pushM float64 }
-		results, err := runner.Run(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			// Pack six metrics by running each process once; return 0 and
-			// accumulate via closure is racy, so run sequentially below
-			// instead. Here we only run COBRA; the others below.
-			t, err := core.CoverTime(g, core.Config{Branch: 2}, 0, rng)
-			return float64(t), err
-		})
+		results, err := runner.Run(trials, coverTrial(g, core.Config{Branch: 2}))
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", g.Name(), err)
 		}

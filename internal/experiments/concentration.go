@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"github.com/repro/cobra/internal/core"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/sim"
 	"github.com/repro/cobra/internal/xrand"
@@ -39,10 +38,7 @@ func E14Concentration(p Params) (*sim.Table, error) {
 	for gi, g := range jobs {
 		cfg := cfgFor(g)
 		runner := sim.Runner{Seed: p.Seed ^ uint64(0x14000+gi), Workers: p.Workers}
-		xs, err := runner.Run(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-			t, err := core.CoverTime(g, cfg, 0, rng)
-			return float64(t), err
-		})
+		xs, err := runner.Run(trials, coverTrial(g, cfg))
 		if err != nil {
 			return nil, fmt.Errorf("E14 %s: %w", g.Name(), err)
 		}

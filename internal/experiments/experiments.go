@@ -12,9 +12,12 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"github.com/repro/cobra/internal/bips"
 	"github.com/repro/cobra/internal/bounds"
 	"github.com/repro/cobra/internal/core"
+	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/sim"
 	"github.com/repro/cobra/internal/spectral"
@@ -86,12 +89,40 @@ func All() []Experiment {
 	}
 }
 
+// wsPool shares engine workspaces across every experiment hot loop: one
+// workspace per live worker goroutine, reused across trials, rows and
+// experiments (buffers are re-sized when the graph changes). Routing the
+// per-trial kernel construction through it removes the per-trial
+// allocations and connectivity re-checks the naive CoverTime loop pays,
+// without changing a single trajectory (the Workspace reuse contract).
+var wsPool = sync.Pool{New: func() any { return engine.NewWorkspace() }}
+
+// coverTrial returns a sim.TrialFunc measuring COBRA cover time from
+// vertex 0 on g through a pooled workspace — result-identical to
+// core.CoverTime with the same stream.
+func coverTrial(g *graph.Graph, cfg core.Config) sim.TrialFunc {
+	return func(trial int, rng *xrand.RNG) (float64, error) {
+		ws := wsPool.Get().(*engine.Workspace)
+		defer wsPool.Put(ws)
+		t, err := core.CoverTimeWith(ws, g, cfg, 0, rng)
+		return float64(t), err
+	}
+}
+
+// infectTrial is coverTrial's BIPS counterpart (infection time from
+// source 0).
+func infectTrial(g *graph.Graph, cfg bips.Config) sim.TrialFunc {
+	return func(trial int, rng *xrand.RNG) (float64, error) {
+		ws := wsPool.Get().(*engine.Workspace)
+		defer wsPool.Put(ws)
+		t, err := bips.InfectionTimeWith(ws, g, cfg, 0, rng)
+		return float64(t), err
+	}
+}
+
 // meanCover returns the mean COBRA cover time over trials from vertex 0.
 func meanCover(p Params, g *graph.Graph, cfg core.Config, trials int) (float64, error) {
-	return p.runner().RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-		t, err := core.CoverTime(g, cfg, 0, rng)
-		return float64(t), err
-	})
+	return p.runner().RunMeans(trials, coverTrial(g, cfg))
 }
 
 // generalBound evaluates the Theorem 1.1 shape m + dmax^2 ln n.

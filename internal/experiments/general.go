@@ -99,10 +99,7 @@ func E5BIPS(p Params) (*sim.Table, error) {
 				return nil, fmt.Errorf("E5 %s: %w", fam.name, err)
 			}
 			cfg := bips.Config{Branch: 2, Lazy: g.IsBipartite()}
-			mean, err := p.runner().RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-				t, err := bips.InfectionTime(g, cfg, 0, rng)
-				return float64(t), err
-			})
+			mean, err := p.runner().RunMeans(trials, infectTrial(g, cfg))
 			if err != nil {
 				return nil, fmt.Errorf("E5 %s: %w", fam.name, err)
 			}
@@ -127,10 +124,7 @@ func E5BIPS(p Params) (*sim.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			mean, err := p.runner().RunMeans(trials, func(trial int, rng *xrand.RNG) (float64, error) {
-				t, err := bips.InfectionTime(g, bips.Config{Branch: 2}, 0, rng)
-				return float64(t), err
-			})
+			mean, err := p.runner().RunMeans(trials, infectTrial(g, bips.Config{Branch: 2}))
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strconv"
 
+	"github.com/repro/cobra/internal/batch"
 	"github.com/repro/cobra/internal/graph"
 	"github.com/repro/cobra/internal/sim"
 	"github.com/repro/cobra/internal/xrand"
@@ -54,6 +57,11 @@ func E15ScaleFree(p Params) (*sim.Table, error) {
 // collapses the cover time — the small-world transition seen through the
 // Theorem 1.2 bound shape (k/gap + k²)·ln n (WS is near-regular, so k
 // stands in for r).
+//
+// The β axis is one batch.Sweep submission (one ws graphspec per β):
+// each graph compiles once into the sweep's cache, trials share pooled
+// workspaces, and the same compiled graph then feeds the spectral gap
+// column.
 func E16SmallWorld(p Params) (*sim.Table, error) {
 	n := pick(p, 256, 2048)
 	k := pick(p, 6, 8)
@@ -62,26 +70,37 @@ func E16SmallWorld(p Params) (*sim.Table, error) {
 	tb := sim.NewTable("E16: Watts–Strogatz gap sweep — cover time across the small-world transition (b=2)",
 		"graph", "n", "k", "beta", "gap", "mean-cover", "bound", "ratio")
 	tb.Note = "bound = (k/gap + k^2) ln n (near-regular shape); the gap opens with beta and the cover time follows"
-	gen := xrand.New(p.Seed ^ 0xe16)
-	for _, beta := range betas {
-		g, err := graph.WattsStrogatz(n, k, beta, gen)
-		if err != nil {
-			return nil, fmt.Errorf("E16 ws beta=%g: %w", beta, err)
-		}
-		cfg := cfgFor(g)
-		var gap float64
-		if cfg.Lazy {
-			gap, err = lazyGap(g)
-		} else {
-			gap, err = plainGap(g)
-		}
+
+	specs := make([]string, len(betas))
+	for i, beta := range betas {
+		specs[i] = fmt.Sprintf("ws:%d:%d:%s", n, k, strconv.FormatFloat(beta, 'g', -1, 64))
+	}
+	sweep := batch.SweepSpec{
+		Graphs:    specs,
+		Processes: []string{"cobra"},
+		Branches:  []int{2},
+		Trials:    trials,
+		Seed:      p.Seed,
+		Workers:   p.Workers,
+	}
+	sw, err := batch.CompileSweep(sweep, nil)
+	if err != nil {
+		return nil, fmt.Errorf("E16: %w", err)
+	}
+	cells, err := sw.Run(context.Background(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("E16: %w", err)
+	}
+	for i, beta := range betas {
+		g := sw.Cells()[i].Graph()
+		// The sweep runs the plain (non-lazy) process on every cell — WS
+		// graphs with k >= 4 have triangles, so they are never bipartite —
+		// and the gap must describe the chain that was simulated.
+		gap, err := plainGap(g)
 		if err != nil {
 			return nil, fmt.Errorf("E16 ws beta=%g gap: %w", beta, err)
 		}
-		mean, err := meanCover(p, g, cfg, trials)
-		if err != nil {
-			return nil, fmt.Errorf("E16 %s: %w", g.Name(), err)
-		}
+		mean := cells[i].Aggregate.Rounds.Mean
 		bound := regularBound(k, gap, g.N())
 		tb.AddRow(g.Name(), g.N(), k, fmt.Sprintf("%g", beta),
 			fmt.Sprintf("%.4g", gap), fmt.Sprintf("%.1f", mean),
