@@ -11,12 +11,27 @@
 //	go test -run xxx -bench . -benchtime 1x -json ./... | benchjson > BENCH_abc.json
 //
 // Benchmarks that appear more than once (e.g. -count > 1) keep their last
-// measurement.
+// measurement; with -best they keep the lowest-ns/op one instead, which
+// is the right statistic for regression gating on noisy CI runners
+// (min-of-N discards GC pauses and noisy neighbors, never real speed).
+//
+// Diff mode compares two artifacts and gates CI on ns/op regressions:
+//
+//	benchjson -diff -max-ratio 2 -require BenchmarkBatchCampaign,BenchmarkNaiveCoverLoop \
+//	    BENCH_prev.json BENCH_head.json
+//
+// Every benchmark present in both files is reported with its new/old
+// ns/op ratio; only the -require names (matched ignoring the -procs
+// suffix and sub-benchmark paths) are enforced against -max-ratio. A
+// required name missing from the new artifact fails the diff; one
+// missing from the old artifact is reported as a new baseline and
+// passes, so adding a benchmark never breaks the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -48,7 +63,29 @@ type testEvent struct {
 }
 
 func main() {
-	out, err := run(os.Stdin)
+	var (
+		diff     = flag.Bool("diff", false, "diff mode: compare two BENCH_*.json files (old new) instead of converting stdin")
+		maxRatio = flag.Float64("max-ratio", 2, "with -diff: fail when a required benchmark's new/old ns/op ratio exceeds this")
+		require  = flag.String("require", "", "with -diff: comma-separated benchmark names enforced against -max-ratio")
+		best     = flag.Bool("best", false, "convert mode: keep the lowest ns/op among repeated measurements instead of the last")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		report, err := runDiff(flag.Arg(0), flag.Arg(1), *maxRatio, splitNames(*require))
+		os.Stdout.WriteString(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	out, err := run(os.Stdin, *best)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -56,14 +93,127 @@ func main() {
 	os.Stdout.Write(out)
 }
 
-func run(r io.Reader) ([]byte, error) {
+// splitNames parses the -require list, dropping empty entries.
+func splitNames(list string) []string {
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// loadMetrics reads one BENCH_*.json artifact (the output of this
+// command's convert mode).
+func loadMetrics(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]Metrics)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// matchesBench reports whether artifact key (e.g.
+// "BenchmarkBatchCampaign-8" or "BenchmarkSweepParallelCells/cellworkers=4-8")
+// belongs to the required benchmark name: exact, or followed by the
+// GOMAXPROCS suffix, or a sub-benchmark path.
+func matchesBench(key, name string) bool {
+	return key == name || strings.HasPrefix(key, name+"-") || strings.HasPrefix(key, name+"/")
+}
+
+// bestNs returns the lowest positive ns/op among an artifact's keys
+// matching the benchmark name, independent of the -procs suffix.
+func bestNs(m map[string]Metrics, name string) (float64, bool) {
+	best, ok := 0.0, false
+	for key, metrics := range m {
+		if !matchesBench(key, name) || metrics.NsPerOp <= 0 {
+			continue
+		}
+		if !ok || metrics.NsPerOp < best {
+			best, ok = metrics.NsPerOp, true
+		}
+	}
+	return best, ok
+}
+
+// runDiff compares the two artifacts. The report lists every benchmark
+// present in both with its new/old ns/op ratio; the returned error is
+// non-nil when a required benchmark is missing from the new artifact or
+// regressed past maxRatio.
+func runDiff(oldPath, newPath string, maxRatio float64, required []string) (string, error) {
+	oldM, err := loadMetrics(oldPath)
+	if err != nil {
+		return "", err
+	}
+	newM, err := loadMetrics(newPath)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if prev, ok := oldM[name]; ok && prev.NsPerOp > 0 {
+			fmt.Fprintf(&sb, "%s: %.0f -> %.0f ns/op (x%.2f)\n",
+				name, prev.NsPerOp, newM[name].NsPerOp, newM[name].NsPerOp/prev.NsPerOp)
+		} else {
+			fmt.Fprintf(&sb, "%s: %.0f ns/op (new baseline)\n", name, newM[name].NsPerOp)
+		}
+	}
+
+	// The gate compares at required-name level, taking the best matching
+	// measurement on each side: artifact keys carry the -procs suffix, so
+	// an exact-key join would silently treat every benchmark as a new
+	// baseline — and pass vacuously — whenever the CI runner's core count
+	// changes between commits.
+	var failures []string
+	for _, req := range required {
+		newBest, newOK := bestNs(newM, req)
+		if !newOK {
+			failures = append(failures, fmt.Sprintf("required benchmark %s missing from %s", req, newPath))
+			continue
+		}
+		oldBest, oldOK := bestNs(oldM, req)
+		if !oldOK {
+			fmt.Fprintf(&sb, "%s: no baseline in %s (new benchmark); gate skipped\n", req, oldPath)
+			continue
+		}
+		if ratio := newBest / oldBest; ratio > maxRatio {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed x%.2f (%.0f -> %.0f ns/op, limit x%g)",
+					req, ratio, oldBest, newBest, maxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return sb.String(), fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return sb.String(), nil
+}
+
+func run(r io.Reader, best bool) ([]byte, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	results := make(map[string]Metrics)
 	record := func(line string) {
-		if name, m, ok := parseBenchLine(line); ok {
-			results[name] = m
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			return
 		}
+		if best {
+			if prev, seen := results[name]; seen && prev.NsPerOp <= m.NsPerOp {
+				return
+			}
+		}
+		results[name] = m
 	}
 	pending := make(map[string]string) // per-package partial output line
 	for sc.Scan() {

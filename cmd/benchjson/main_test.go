@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,7 +56,7 @@ func TestRunParsesRawAndJSONStreams(t *testing.T) {
 		`{"Action":"pass","Package":"p"}`,
 	}, "\n")
 	for label, in := range map[string]string{"raw": raw, "json": jsonStream} {
-		out, err := run(strings.NewReader(in))
+		out, err := run(strings.NewReader(in), false)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
@@ -70,6 +72,136 @@ func TestRunParsesRawAndJSONStreams(t *testing.T) {
 			if m, ok := parsed["BenchmarkB-4"]; !ok || m.NsPerOp != 90 {
 				t.Fatalf("json: interleaved package lost: %+v", parsed)
 			}
+		}
+	}
+}
+
+// writeArtifact round-trips benchmark lines through the converter so the
+// diff tests exercise the same artifact format CI produces.
+func writeArtifact(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	out, err := run(strings.NewReader(strings.Join(lines, "\n")), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffPassesWithinRatio(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json",
+		"BenchmarkBatchCampaign-8  100  1000 ns/op",
+		"BenchmarkNaiveCoverLoop-8  100  5000 ns/op",
+		"BenchmarkOther-8  10  70 ns/op")
+	cur := writeArtifact(t, dir, "new.json",
+		"BenchmarkBatchCampaign-8  100  1900 ns/op", // x1.9 < 2
+		"BenchmarkNaiveCoverLoop-8  100  4000 ns/op",
+		"BenchmarkOther-8  10  900 ns/op") // x12.9, but not required
+	report, err := runDiff(old, cur, 2, []string{"BenchmarkBatchCampaign", "BenchmarkNaiveCoverLoop"})
+	if err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "BenchmarkBatchCampaign-8: 1000 -> 1900 ns/op (x1.90)") {
+		t.Fatalf("report missing ratio line:\n%s", report)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", "BenchmarkBatchCampaign-8  100  1000 ns/op")
+	cur := writeArtifact(t, dir, "new.json", "BenchmarkBatchCampaign-8  100  2100 ns/op") // x2.1 > 2
+	_, err := runDiff(old, cur, 2, []string{"BenchmarkBatchCampaign"})
+	if err == nil || !strings.Contains(err.Error(), "regressed x2.10") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+}
+
+func TestDiffFailsOnMissingRequired(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", "BenchmarkBatchCampaign-8  100  1000 ns/op")
+	cur := writeArtifact(t, dir, "new.json", "BenchmarkSomethingElse-8  100  10 ns/op")
+	_, err := runDiff(old, cur, 2, []string{"BenchmarkBatchCampaign"})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing required benchmark not caught: %v", err)
+	}
+}
+
+func TestDiffToleratesNewBaseline(t *testing.T) {
+	// A benchmark absent from the previous artifact is a new baseline: it
+	// must be reported, not failed — adding a benchmark can't break CI.
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", "BenchmarkBatchCampaign-8  100  1000 ns/op")
+	cur := writeArtifact(t, dir, "new.json",
+		"BenchmarkBatchCampaign-8  100  1000 ns/op",
+		"BenchmarkSweepParallelCells/cellworkers=4-8  3  5000 ns/op")
+	report, err := runDiff(old, cur, 2,
+		[]string{"BenchmarkBatchCampaign", "BenchmarkSweepParallelCells"})
+	if err != nil {
+		t.Fatalf("new baseline failed the gate: %v", err)
+	}
+	if !strings.Contains(report, "BenchmarkSweepParallelCells/cellworkers=4-8: 5000 ns/op (new baseline)") {
+		t.Fatalf("report missing new-baseline line:\n%s", report)
+	}
+}
+
+// -best keeps the minimum ns/op across repeated measurements (-count >
+// 1), the statistic the CI regression gate needs on noisy runners;
+// without it the last measurement wins (the documented default).
+func TestRunBestKeepsMinimum(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkA-4  100  80 ns/op",
+		"BenchmarkA-4  100  50 ns/op",
+		"BenchmarkA-4  100  70 ns/op",
+	}, "\n")
+	for _, c := range []struct {
+		best bool
+		want float64
+	}{{false, 70}, {true, 50}} {
+		out, err := run(strings.NewReader(in), c.best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parsed map[string]Metrics
+		if err := json.Unmarshal(out, &parsed); err != nil {
+			t.Fatal(err)
+		}
+		if got := parsed["BenchmarkA-4"].NsPerOp; got != c.want {
+			t.Fatalf("best=%v: ns/op %v, want %v", c.best, got, c.want)
+		}
+	}
+}
+
+// The gate must survive a runner core-count change: old artifact keys
+// ending -4, new ones ending -8, still compared (not treated as a new
+// baseline that passes vacuously).
+func TestDiffGateSurvivesProcsSuffixChange(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", "BenchmarkBatchCampaign-4  100  1000 ns/op")
+	cur := writeArtifact(t, dir, "new.json", "BenchmarkBatchCampaign-8  100  2100 ns/op")
+	_, err := runDiff(old, cur, 2, []string{"BenchmarkBatchCampaign"})
+	if err == nil || !strings.Contains(err.Error(), "regressed x2.10") {
+		t.Fatalf("regression across procs-suffix change not caught: %v", err)
+	}
+}
+
+func TestMatchesBench(t *testing.T) {
+	cases := []struct {
+		key, name string
+		want      bool
+	}{
+		{"BenchmarkBatchCampaign-8", "BenchmarkBatchCampaign", true},
+		{"BenchmarkBatchCampaign", "BenchmarkBatchCampaign", true},
+		{"BenchmarkSweepParallelCells/cellworkers=4-8", "BenchmarkSweepParallelCells", true},
+		{"BenchmarkBatchCampaignX-8", "BenchmarkBatchCampaign", false},
+		{"BenchmarkNaiveCoverLoop-8", "BenchmarkBatchCampaign", false},
+	}
+	for _, c := range cases {
+		if got := matchesBench(c.key, c.name); got != c.want {
+			t.Fatalf("matchesBench(%q, %q) = %v, want %v", c.key, c.name, got, c.want)
 		}
 	}
 }

@@ -10,11 +10,16 @@
 //
 // Parameter sweeps fan one submission across a grid of cells (graphs x
 // processes x branches x rhos), compiling each distinct graph once into
-// the shared cache:
+// the shared cache. Cells execute in parallel — the sweep's cell_workers
+// field, defaulting to -cell-workers — behind a reorder buffer, so the
+// result stream and aggregates stay in (cell, trial) order no matter
+// which cells finish first; the status endpoint reports each cell's
+// scheduler phase (queued/running/done, failed on abort) while the
+// sweep is in flight:
 //
 //	curl -X POST localhost:8080/v1/sweeps -d \
 //	  '{"graphs":["ws:2048:8:0","ws:2048:8:0.1"],"processes":["cobra"],"branches":[2,3],"trials":100,"seed":1}'
-//	curl localhost:8080/v1/sweeps/s000001           # per-cell aggregates
+//	curl localhost:8080/v1/sweeps/s000001           # per-cell aggregates + phases
 //	curl localhost:8080/v1/sweeps/s000001/results   # NDJSON in (cell, trial) order
 //	curl localhost:8080/v1/sweeps/s000001/table     # cross-cell summary grid
 //
@@ -43,16 +48,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		campaigns = flag.Int("campaigns", 2, "campaigns running concurrently")
-		queue     = flag.Int("queue", 64, "queued-campaign backlog before 503s")
-		cacheSize = flag.Int("cache", 32, "compiled-graph LRU cache capacity")
-		maxTrials = flag.Int("max-trials", 1_000_000, "per-campaign trial cap (results are retained in memory)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		campaigns   = flag.Int("campaigns", 2, "campaigns running concurrently")
+		cellWorkers = flag.Int("cell-workers", 2, "concurrent cells per sweep when a sweep spec leaves cell_workers unset (never affects results)")
+		queue       = flag.Int("queue", 64, "queued-campaign backlog before 503s")
+		cacheSize   = flag.Int("cache", 32, "compiled-graph LRU cache capacity")
+		maxTrials   = flag.Int("max-trials", 1_000_000, "per-campaign trial cap (results are retained in memory)")
 	)
 	flag.Parse()
 
 	svc := batch.NewServer(batch.ServerConfig{
 		CampaignWorkers: *campaigns,
+		CellWorkers:     *cellWorkers,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		MaxTrials:       *maxTrials,
@@ -68,8 +75,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
-	log.Printf("cobrad: listening on %s (campaign workers %d, queue %d, graph cache %d)",
-		*addr, *campaigns, *queue, *cacheSize)
+	log.Printf("cobrad: listening on %s (campaign workers %d, cell workers %d, queue %d, graph cache %d)",
+		*addr, *campaigns, *cellWorkers, *queue, *cacheSize)
 
 	select {
 	case <-ctx.Done():

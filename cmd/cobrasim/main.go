@@ -11,10 +11,13 @@
 //
 // Sweep mode expands a parameter grid (graphs x processes x branches x
 // rhos) into cells, compiles each distinct graph once, and prints the
-// cross-cell summary grid as a table or CSV:
+// cross-cell summary grid as a table or CSV. -cell-workers runs that
+// many cells concurrently (results are identical to sequential — the
+// reorder buffer keeps delivery in (cell, trial) order):
 //
 //	cobrasim -sweep -graphs ws:2048:8:0,ws:2048:8:0.1 -branches 2,3 -trials 50
 //	cobrasim -sweep -graphs rreg:1024:3 -processes cobra,bips -format csv
+//	cobrasim -sweep -graphs ba:4096:3,ba:8192:3 -cell-workers 4 -trials 100
 package main
 
 import (
@@ -58,6 +61,7 @@ func main() {
 		processes = flag.String("processes", "", "with -sweep: comma-separated processes from cobra,bips (default: the -process value)")
 		branches  = flag.String("branches", "", "with -sweep: comma-separated integer branch factors (default: the -b value)")
 		rhos      = flag.String("rhos", "", "with -sweep: comma-separated rho values (default: the -rho value)")
+		cellWs    = flag.Int("cell-workers", 1, "with -sweep: concurrent cells (1 = sequential; never affects results)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -72,7 +76,8 @@ func main() {
 		}
 		spec, err := sweepSpec(*graphs, *processes, *branches, *rhos, sweepDefaults{
 			graph: *graphFlag, process: *process, branch: *branch, rho: *rho,
-			lazy: *lazy, start: *start, trials: *trials, seed: *seed, workers: *workers,
+			lazy: *lazy, start: *start, trials: *trials, seed: *seed,
+			workers: *workers, cellWorkers: *cellWs,
 		})
 		if err != nil {
 			fatal(err)
@@ -221,28 +226,46 @@ type sweepDefaults struct {
 	start, trials  int
 	seed           uint64
 	workers        int
+	cellWorkers    int
 }
 
 // sweepSpec assembles the batch.SweepSpec from the comma-separated axis
-// flags, falling back to the scalar flags for omitted axes.
+// flags, falling back to the scalar flags for omitted axes. Malformed
+// axes — empty entries, non-numeric values — are rejected here with the
+// offending flag named; duplicate, non-positive, or out-of-range entries
+// are rejected by SweepSpec.Validate, so a degenerate grid never runs.
 func sweepSpec(graphs, processes, branches, rhos string, d sweepDefaults) (batch.SweepSpec, error) {
 	spec := batch.SweepSpec{
-		Graphs:    splitAxis(graphs, d.graph),
-		Processes: splitAxis(processes, d.process),
-		Lazy:      d.lazy,
-		Start:     d.start,
-		Trials:    d.trials,
-		Seed:      d.seed,
-		Workers:   d.workers,
+		Lazy:        d.lazy,
+		Start:       d.start,
+		Trials:      d.trials,
+		Seed:        d.seed,
+		Workers:     d.workers,
+		CellWorkers: d.cellWorkers,
 	}
-	for _, raw := range splitAxis(branches, strconv.Itoa(d.branch)) {
+	var err error
+	if spec.Graphs, err = splitAxis("-graphs", graphs, d.graph); err != nil {
+		return spec, err
+	}
+	if spec.Processes, err = splitAxis("-processes", processes, d.process); err != nil {
+		return spec, err
+	}
+	branchEntries, err := splitAxis("-branches", branches, strconv.Itoa(d.branch))
+	if err != nil {
+		return spec, err
+	}
+	for _, raw := range branchEntries {
 		b, err := strconv.Atoi(raw)
 		if err != nil {
 			return spec, fmt.Errorf("-branches entry %q not an integer", raw)
 		}
 		spec.Branches = append(spec.Branches, b)
 	}
-	for _, raw := range splitAxis(rhos, strconv.FormatFloat(d.rho, 'g', -1, 64)) {
+	rhoEntries, err := splitAxis("-rhos", rhos, strconv.FormatFloat(d.rho, 'g', -1, 64))
+	if err != nil {
+		return spec, err
+	}
+	for _, raw := range rhoEntries {
 		r, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
 			return spec, fmt.Errorf("-rhos entry %q not a number", raw)
@@ -253,18 +276,23 @@ func sweepSpec(graphs, processes, branches, rhos string, d sweepDefaults) (batch
 }
 
 // splitAxis splits a comma-separated axis flag, substituting the scalar
-// default when the flag is empty.
-func splitAxis(list, fallback string) []string {
+// default when the flag is empty. Empty entries (",," or a stray
+// trailing comma) are an error, not silently dropped: a typo must not
+// quietly shrink the grid.
+func splitAxis(name, list, fallback string) ([]string, error) {
 	if strings.TrimSpace(list) == "" {
 		list = fallback
 	}
-	var out []string
-	for _, part := range strings.Split(list, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
+	parts := strings.Split(list, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%s has an empty entry in %q", name, list)
 		}
+		out = append(out, part)
 	}
-	return out
+	return out, nil
 }
 
 // runSweep compiles and runs the sweep, then prints the cross-cell
@@ -279,14 +307,21 @@ func runSweep(spec batch.SweepSpec, format string) error {
 	if err != nil {
 		return err
 	}
-	hits, misses, _ := sw.CacheStats()
-	fmt.Fprintf(info, "sweep: %d cells (%d graphs x %d processes x %d branches x %d rhos), %d trials each; %d graph builds, %d cache hits\n",
+	cellWorkers := spec.CellWorkers
+	if cellWorkers < 1 {
+		cellWorkers = 1
+	}
+	fmt.Fprintf(info, "sweep: %d cells (%d graphs x %d processes x %d branches x %d rhos), %d trials each, %d cell workers\n",
 		spec.CellCount(), len(spec.Graphs), len(spec.Processes), len(spec.Branches),
-		spec.CellCount()/(len(spec.Graphs)*len(spec.Processes)*len(spec.Branches)), spec.Trials, misses, hits)
+		spec.CellCount()/(len(spec.Graphs)*len(spec.Processes)*len(spec.Branches)), spec.Trials, cellWorkers)
 	cells, err := sw.Run(context.Background(), nil)
 	if err != nil {
 		return err
 	}
+	// Graphs compile lazily at cell admission, so the counters are only
+	// meaningful after the run: builds must equal the distinct graph count.
+	hits, misses, _ := sw.CacheStats()
+	fmt.Fprintf(info, "sweep: %d graph builds, %d cache hits\n", misses, hits)
 	header, rows := batch.SummaryTable(cells)
 	tb := sim.NewTable(fmt.Sprintf("sweep seed=%d", spec.Seed), header...)
 	for _, row := range rows {

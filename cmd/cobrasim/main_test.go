@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func defaults() sweepDefaults {
+	return sweepDefaults{
+		graph: "rreg:256:3", process: "cobra", branch: 2, rho: 0,
+		trials: 5, seed: 1, cellWorkers: 3,
+	}
+}
+
+// Axis flags fall back to the scalar flags when empty, and the assembled
+// spec carries every scalar — including the cell-workers knob.
+func TestSweepSpecDefaults(t *testing.T) {
+	spec, err := sweepSpec("", "", "", "", defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Graphs) != 1 || spec.Graphs[0] != "rreg:256:3" {
+		t.Fatalf("graphs %v", spec.Graphs)
+	}
+	if len(spec.Processes) != 1 || spec.Processes[0] != "cobra" {
+		t.Fatalf("processes %v", spec.Processes)
+	}
+	if len(spec.Branches) != 1 || spec.Branches[0] != 2 {
+		t.Fatalf("branches %v", spec.Branches)
+	}
+	if len(spec.Rhos) != 1 || spec.Rhos[0] != 0 {
+		t.Fatalf("rhos %v", spec.Rhos)
+	}
+	if spec.CellWorkers != 3 {
+		t.Fatalf("cell workers %d, want 3", spec.CellWorkers)
+	}
+}
+
+func TestSweepSpecAxes(t *testing.T) {
+	spec, err := sweepSpec("rreg:256:3,ba:400:3", "cobra,bips", "2, 3", "0,0.5", defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Graphs) != 2 || len(spec.Processes) != 2 || len(spec.Branches) != 2 || len(spec.Rhos) != 2 {
+		t.Fatalf("axes %v %v %v %v", spec.Graphs, spec.Processes, spec.Branches, spec.Rhos)
+	}
+	if spec.CellCount() != 16 {
+		t.Fatalf("cell count %d", spec.CellCount())
+	}
+}
+
+// Regression: malformed axis flags must be rejected with the offending
+// flag named, never silently shrunk or passed through as a degenerate
+// grid (empty entries used to be dropped; NaN rhos used to validate).
+func TestSweepSpecRejectsBadAxes(t *testing.T) {
+	cases := []struct {
+		name                              string
+		graphs, processes, branches, rhos string
+		wantErr                           string
+	}{
+		{"empty graph entry", "rreg:256:3,,ba:400:3", "", "", "", "-graphs"},
+		{"trailing graph comma", "rreg:256:3,", "", "", "", "-graphs"},
+		{"only commas", ",", "", "", "", "-graphs"},
+		{"empty process entry", "", "cobra,,bips", "", "", "-processes"},
+		{"unknown process", "", "warp", "", "", "process"},
+		{"duplicate process", "", "cobra,COBRA", "", "", "duplicate"},
+		{"empty branch entry", "", "", "2,,3", "", "-branches"},
+		{"non-integer branch", "", "", "2,x", "", "-branches"},
+		{"non-positive branch", "", "", "0", "", "branch"},
+		{"duplicate branch", "", "", "2,2", "", "duplicate"},
+		{"empty rho entry", "", "", "", "0.5,,0.25", "-rhos"},
+		{"non-numeric rho", "", "", "", "0.5,zap", "-rhos"},
+		{"NaN rho", "", "", "", "nan", "rho"},
+		{"infinite rho", "", "", "", "+inf", "rho"},
+		{"out-of-range rho", "", "", "", "1.5", "rho"},
+		{"duplicate rho", "", "", "", "0.5,0.5", "duplicate"},
+		{"duplicate graphs canonically", "rreg:256:3,RREG:0256:3", "", "", "", "duplicate"},
+	}
+	for _, c := range cases {
+		_, err := sweepSpec(c.graphs, c.processes, c.branches, c.rhos, defaults())
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSplitAxisStrict(t *testing.T) {
+	out, err := splitAxis("-graphs", " a , b ", "fallback")
+	if err != nil || len(out) != 2 || out[0] != "a" || out[1] != "b" {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	out, err = splitAxis("-graphs", "", "fallback")
+	if err != nil || len(out) != 1 || out[0] != "fallback" {
+		t.Fatalf("fallback: out=%v err=%v", out, err)
+	}
+	if _, err := splitAxis("-graphs", "a,,b", "f"); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	if _, err := splitAxis("-graphs", " , ", "f"); err == nil {
+		t.Fatal("all-empty list accepted")
+	}
+}

@@ -101,14 +101,23 @@
 // batch.Sweep lifts campaigns to parameter grids: one submission carries
 // axes (graph specs × processes × branch factors × rho values) that
 // expand row-major — graphs outermost — into an ordered list of campaign
-// cells. All cells compile through one graph cache (each distinct graph
-// builds exactly once) and share one workspace pool, and every cell
-// carries the sweep's master seed, making each cell byte-identical to
-// submitting its spec as a standalone campaign. cobrad exposes sweeps at
-// POST /v1/sweeps (status, NDJSON results in (cell, trial) order, and a
-// cross-cell summary table); cobrasim -sweep prints the same grid as an
-// aligned table or CSV; the experiment harness drives its E6 rho sweep
-// and E16 Watts–Strogatz beta sweep through the same API.
+// cells. Cells execute concurrently, up to the sweep's CellWorkers, on a
+// two-level scheduler: cells are *admitted* (compiled through one shared
+// graph cache, so each distinct graph builds exactly once — even at
+// cache capacity 1, because a graph's cells form one contiguous
+// admission block) strictly in cell order, run on a bounded cell-worker
+// pool sharing one workspace pool, and *commit* through a reorder buffer
+// that delivers results and folds aggregates strictly in (cell, trial)
+// order no matter which cells finish first; at most CellWorkers cells
+// hold workspaces or buffered results at once. Every cell carries the
+// sweep's master seed, making each cell byte-identical to submitting its
+// spec as a standalone campaign, for every cell-worker count. cobrad
+// exposes sweeps at POST /v1/sweeps (status with per-cell scheduler
+// phases, NDJSON results in (cell, trial) order, and a cross-cell
+// summary table) with a -cell-workers default; cobrasim -sweep prints
+// the same grid as an aligned table or CSV; the experiment harness
+// drives its E6 rho sweep and E16 Watts–Strogatz beta sweep through the
+// same API, cells in parallel.
 //
 // # Quick start
 //

@@ -28,18 +28,23 @@
 // Sweep (sweep.go) lifts campaigns to grids: one SweepSpec carries axes
 // (graph specs × processes × branch factors × rho values) that expand
 // row-major into an ordered list of campaign cells, all sharing the
-// sweep's scalar fields and master seed. Cells run sequentially through
-// the campaign scheduler against one shared graph cache — each distinct
-// graph spec compiles exactly once per cache — and one shared workspace
-// pool, so consecutive cells of the same graph pay no construction at
-// all. Because every cell carries the sweep seed, each cell is
-// byte-identical to submitting its Spec as a standalone campaign; see
-// sweep.go for the full cell-ordering and determinism contract.
+// sweep's scalar fields and master seed. Up to SweepSpec.CellWorkers
+// cells execute concurrently through the cell scheduler (cellsched.go)
+// against one shared graph cache — cells are admitted (compiled)
+// strictly in cell-index order, so each distinct graph spec compiles
+// exactly once per cache even at capacity 1 — and one shared workspace
+// pool; a reorder buffer commits results and folds aggregates strictly
+// in (cell, trial) order no matter which order cells finish in. Because
+// every cell carries the sweep seed, each cell is byte-identical to
+// submitting its Spec as a standalone campaign, for every cell-worker
+// count; see sweep.go and cellsched.go for the full admission-order and
+// reorder-buffer contract.
 package batch
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -96,7 +101,7 @@ func (s Spec) Validate() error {
 	if s.Branch < 1 {
 		return fmt.Errorf("%w: branch must be >= 1, got %d", ErrInput, s.Branch)
 	}
-	if s.Rho < 0 || s.Rho > 1 {
+	if math.IsNaN(s.Rho) || s.Rho < 0 || s.Rho > 1 {
 		return fmt.Errorf("%w: rho must be in [0,1], got %v", ErrInput, s.Rho)
 	}
 	if s.Start < 0 {

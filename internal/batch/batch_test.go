@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
@@ -46,6 +47,8 @@ func TestSpecValidate(t *testing.T) {
 		func(s *Spec) { s.Process = "walk" },
 		func(s *Spec) { s.Branch = 0 },
 		func(s *Spec) { s.Rho = 2 },
+		func(s *Spec) { s.Rho = math.NaN() }, // NaN evades range comparisons
+		func(s *Spec) { s.Rho = math.Inf(-1) },
 		func(s *Spec) { s.Start = -1 },
 		func(s *Spec) { s.Trials = 0 },
 		func(s *Spec) { s.MaxRounds = -5 },

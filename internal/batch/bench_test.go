@@ -2,6 +2,7 @@ package batch
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/repro/cobra/internal/core"
@@ -32,6 +33,50 @@ func BenchmarkBatchCampaign(b *testing.B) {
 	b.ResetTimer()
 	if _, err := c.Run(context.Background(), nil); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepParallelCells measures cell-level speedup on a
+// multi-graph grid: 4 distinct graphs x 1 process x 1 branch, trials
+// serialized within each cell (Workers=1) so the cell scheduler is the
+// only source of parallelism. One benchmark iteration is one full sweep;
+// compare the cellworkers=1 and cellworkers=4 variants for the speedup
+// (the acceptance target is >= 1.5x on this grid). Graphs are
+// pre-compiled into the shared cache outside the timer, matching the
+// warm-cache steady state of a campaign server.
+func BenchmarkSweepParallelCells(b *testing.B) {
+	// Four distinct graphs of comparable per-cell cost (all expander-like,
+	// similar cover times): cell-level speedup is bounded by total/max
+	// cell time, so a grid with one dominant cell could not show it.
+	sweepSpec := SweepSpec{
+		Graphs:    []string{"ba:20000:3", "ba:20000:4", "rreg:20000:3", "ws:20000:6:0.1"},
+		Processes: []string{"cobra"},
+		Branches:  []int{2},
+		Trials:    4,
+		Seed:      1,
+		Workers:   1,
+	}
+	cache := NewCache(len(sweepSpec.Graphs))
+	for _, g := range sweepSpec.Graphs {
+		if _, err := cache.GetOrBuild(g, sweepSpec.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, cellWorkers := range []int{1, 4} {
+		spec := sweepSpec
+		spec.CellWorkers = cellWorkers
+		b.Run(fmt.Sprintf("cellworkers=%d", cellWorkers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sw, err := CompileSweep(spec, cache)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sw.Run(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

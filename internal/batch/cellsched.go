@@ -1,0 +1,268 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// The sweep cell scheduler: a two-level scheduler that runs a sweep's
+// cells concurrently while preserving, bit for bit, the observable
+// behavior of the sequential cell loop it replaced.
+//
+// # Architecture
+//
+// Three roles cooperate over channels:
+//
+//   - The *admitter* (one goroutine) walks cells in cell-index order —
+//     graphs outermost, the sweep's admission order. For each cell it
+//     first acquires a window slot (backpressure, see below), then calls
+//     admit(cell) — for sweeps, compiling the cell's campaign through the
+//     shared graph cache — and hands the cell to the run queue. Admission
+//     is strictly sequential, so cell c is admitted only after every cell
+//     < c: all cells of graph g touch the cache before any cell of graph
+//     g+1, and even a capacity-1 cache compiles each distinct graph
+//     exactly once.
+//   - The *cell workers* (up to CellWorkers goroutines) pull admitted
+//     cells off the run queue and execute them, forwarding each cell's
+//     trial results (already in trial order) and one final done event
+//     into the shared event stream.
+//   - The *committer* (the caller's goroutine) owns delivery: it commits
+//     cells strictly in cell-index order. The head cell — the lowest
+//     uncommitted index — streams its trials live; trials of cells that
+//     completed out of order wait in the reorder buffer and are flushed,
+//     in (cell, trial) order, the moment their cell becomes the head. A
+//     cell's window slot is released only when the cell commits.
+//
+// # Backpressure window
+//
+// The semaphore bounds the window of admitted-but-uncommitted cells to
+// the worker count K: at most K cells are compiled, running, or buffered
+// at any moment, so at most K cells hold engine workspaces and the
+// reorder buffer never holds more than K-1 completed cells. Because
+// commits are in admission order, the head cell always owns a slot and a
+// worker, so the window always drains — no schedule can deadlock it.
+//
+// # Determinism
+//
+// Per-cell event order is the cell's own trial order (one worker runs one
+// cell, campaign.Run delivers in trial order); the committer serializes
+// across cells by buffering. The delivered stream — and therefore every
+// aggregate folded from it — is identical for every worker count and
+// completion order, including K=1, which reproduces the old sequential
+// loop exactly. sweep_conform_test.go and cellsched_test.go pin this.
+
+// CellPhase is the lifecycle of one sweep cell under the scheduler.
+type CellPhase string
+
+const (
+	// CellQueued means the cell has not been admitted yet.
+	CellQueued CellPhase = "queued"
+	// CellRunning means the cell has been admitted (its campaign is
+	// compiled) and is executing or awaiting a cell worker.
+	CellRunning CellPhase = "running"
+	// CellDone means the cell committed: all its results are delivered.
+	CellDone CellPhase = "done"
+	// CellFailed marks a cell that will never commit: the scheduler emits
+	// it for the failing cell itself (whether admission or execution
+	// failed), and the job layer extends it to cells cancelled in flight,
+	// so a failed sweep's status cannot report phantom running cells.
+	CellFailed CellPhase = "failed"
+)
+
+// cellScheduler runs n cells with at most `workers` in flight. The zero
+// value is not usable; fill every field but onPhase (optional).
+type cellScheduler struct {
+	n       int
+	workers int
+	// admit is called in cell-index order from the admission goroutine,
+	// before the cell reaches a worker. Sweeps compile the cell's campaign
+	// here; an error marks the cell failed and stops further admissions.
+	admit func(cell int) error
+	// run executes an admitted cell on a worker goroutine, delivering its
+	// trial results in trial order through deliver.
+	run func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error)
+	// wrap decorates a failed cell's error with its identity.
+	wrap func(cell int, err error) error
+	// onPhase, when non-nil, observes lifecycle transitions: CellRunning
+	// from the admission goroutine, CellDone from the committer. Calls for
+	// one cell are ordered; calls for different cells may be concurrent.
+	onPhase func(cell int, phase CellPhase)
+}
+
+// cellEvent is one message from a worker to the committer: a trial result
+// (done=false) or the cell's completion notice (done=true).
+type cellEvent struct {
+	cell int
+	res  TrialResult
+	done bool
+	agg  *Aggregate
+	err  error
+}
+
+// cellTask is one admitted cell on the run queue; err carries a failed
+// admission to the committer through the same ordered machinery.
+type cellTask struct {
+	cell int
+	err  error
+}
+
+// pendingCell is the reorder buffer's record of a cell that has produced
+// events while not at the head of the commit order.
+type pendingCell struct {
+	buf  []TrialResult
+	done bool
+	agg  *Aggregate
+	err  error
+}
+
+// execute runs the schedule, invoking onResult (may be nil) for every
+// trial result in strict (cell, trial) order, and returns the per-cell
+// aggregates in cell order. The first failing cell (in commit order)
+// aborts the schedule and is returned wrapped; cells before it commit
+// normally, cells after it are cancelled and their results discarded.
+func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult)) ([]*Aggregate, error) {
+	if cs.n == 0 {
+		return nil, nil
+	}
+	workers := cs.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cs.n {
+		workers = cs.n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sem := make(chan struct{}, workers) // admission→commit window slots
+	runq := make(chan cellTask)         // admitted cells, in cell order
+	events := make(chan cellEvent)      // merged worker → committer stream
+
+	// Admitter: strict cell-index order, one slot per uncommitted cell.
+	go func() {
+		defer close(runq)
+		for c := 0; c < cs.n; c++ {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			err := cs.admit(c)
+			if err == nil {
+				cs.phase(c, CellRunning)
+			}
+			select {
+			case runq <- cellTask{cell: c, err: err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return // sequential semantics: nothing past a failed admission
+			}
+		}
+	}()
+
+	// Cell workers: execute admitted cells, forward events. Every send is
+	// unconditional: the committer always drains events until close, and a
+	// conditional send racing ctx.Done could silently drop a trial from a
+	// cell that still completes successfully — breaking the every-result-
+	// delivered-before-folded contract on a cancelled-at-the-finish-line
+	// schedule.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range runq {
+				if task.err != nil {
+					events <- cellEvent{cell: task.cell, done: true, err: task.err}
+					continue
+				}
+				agg, err := cs.run(ctx, task.cell, func(r TrialResult) {
+					events <- cellEvent{cell: task.cell, res: r}
+				})
+				events <- cellEvent{cell: task.cell, done: true, agg: agg, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(events)
+	}()
+
+	// Committer: deliver in (cell, trial) order, commit in cell order.
+	aggs := make([]*Aggregate, cs.n)
+	pend := make(map[int]*pendingCell, workers)
+	next := 0 // head: the lowest uncommitted cell index
+	var firstErr error
+	for ev := range events {
+		if firstErr != nil {
+			continue // draining a cancelled schedule
+		}
+		if !ev.done && ev.cell == next {
+			// Head cell trials stream live; its buffered prefix (if any)
+			// was flushed when it became the head, before this receive.
+			if onResult != nil {
+				onResult(CellResult{Cell: ev.cell, TrialResult: ev.res})
+			}
+			continue
+		}
+		p := pend[ev.cell]
+		if p == nil {
+			p = &pendingCell{}
+			pend[ev.cell] = p
+		}
+		if ev.done {
+			p.done, p.agg, p.err = true, ev.agg, ev.err
+		} else {
+			p.buf = append(p.buf, ev.res)
+		}
+		// Commit every consecutive completed cell starting at the head.
+		for {
+			p := pend[next]
+			if p == nil || !p.done {
+				break
+			}
+			delete(pend, next)
+			if p.err != nil {
+				firstErr = cs.wrap(next, p.err)
+				cs.phase(next, CellFailed)
+				cancel()
+				break
+			}
+			aggs[next] = p.agg
+			cs.phase(next, CellDone)
+			<-sem
+			next++
+			// The new head may have buffered results from before its
+			// promotion; flush them now so later live trials follow them.
+			if q := pend[next]; q != nil && len(q.buf) > 0 {
+				if onResult != nil {
+					for _, r := range q.buf {
+						onResult(CellResult{Cell: next, TrialResult: r})
+					}
+				}
+				q.buf = nil
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if next < cs.n {
+		// Cancelled (or the parent ctx expired) with no cell error
+		// committed: surface the cause rather than partial results.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: cell scheduler stopped after %d of %d cells", ErrInput, next, cs.n)
+	}
+	return aggs, nil
+}
+
+func (cs *cellScheduler) phase(cell int, ph CellPhase) {
+	if cs.onPhase != nil {
+		cs.onPhase(cell, ph)
+	}
+}

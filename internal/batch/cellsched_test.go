@@ -1,0 +1,306 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Adversarial completion-order tests: a stub cell runner whose cells
+// finish in exactly the order the test dictates — reverse, random, or
+// worst-case-for-the-window — must still produce the strict (cell,
+// trial)-ordered stream and in-order per-cell aggregates. This pins the
+// reorder buffer itself, independent of real campaign timing: the happy
+// path where cells happen to finish in order proves nothing about it.
+
+// stubResult is the synthetic measurement for (cell, trial): unique per
+// pair so any reordering or loss is visible in the committed stream.
+func stubResult(cell, trial int) TrialResult {
+	return TrialResult{Trial: trial, Rounds: 1000*cell + trial}
+}
+
+// stubSchedule runs n stub cells (trials results each) under the cell
+// scheduler with the given worker count. Every cell delivers its trials
+// immediately, then blocks until the controller releases it; the
+// controller waits for the window to fill and then releases the running
+// cell chosen by pick — so the *completion* order is exactly the pick
+// order, regardless of Go scheduling. failCell >= 0 makes that cell
+// return an error instead of an aggregate.
+func stubSchedule(t *testing.T, n, trials, workers, failCell int, pick func(running []int) int) ([]CellResult, []*Aggregate, []CellPhase, error) {
+	t.Helper()
+	started := make(chan int)
+	release := make([]chan struct{}, n)
+	for i := range release {
+		release[i] = make(chan struct{})
+	}
+
+	var phaseMu sync.Mutex
+	phases := make([]CellPhase, n)
+	for i := range phases {
+		phases[i] = CellQueued
+	}
+
+	cs := &cellScheduler{
+		n:       n,
+		workers: workers,
+		admit:   func(cell int) error { return nil },
+		run: func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			for k := 0; k < trials; k++ {
+				deliver(stubResult(cell, k))
+			}
+			started <- cell
+			select {
+			case <-release[cell]:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if cell == failCell {
+				return nil, fmt.Errorf("stub cell %d exploded", cell)
+			}
+			return &Aggregate{Completed: trials}, nil
+		},
+		wrap: func(cell int, err error) error { return fmt.Errorf("cell %d (stub): %w", cell, err) },
+		onPhase: func(cell int, ph CellPhase) {
+			phaseMu.Lock()
+			phases[cell] = ph
+			phaseMu.Unlock()
+		},
+	}
+
+	// Controller: fill the window, then release the adversary's choice.
+	// The window model mirrors the scheduler's: a slot frees at *commit*,
+	// and commits follow the consecutive released prefix from cell 0, so
+	// the scheduler will eventually have min(n, prefix+workers) cells
+	// started. Waiting for exactly that many before picking keeps the
+	// completion order fully under the adversary's control without
+	// deadlocking against the backpressure window.
+	ctrlDone := make(chan struct{})
+	go func() {
+		defer close(ctrlDone)
+		running := []int{}
+		released := make([]bool, n)
+		releasedCount := 0
+		prefix := 0 // consecutive released cells starting at 0
+		for releasedCount < n {
+			for prefix < n && released[prefix] {
+				prefix++
+			}
+			want := prefix + workers
+			if want > n {
+				want = n
+			}
+			for releasedCount+len(running) < want {
+				c, ok := <-started
+				if !ok {
+					return
+				}
+				running = append(running, c)
+			}
+			choice := pick(append([]int(nil), running...))
+			idx := -1
+			for i, c := range running {
+				if c == choice {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				panic("pick returned a cell that is not running")
+			}
+			running = append(running[:idx], running[idx+1:]...)
+			close(release[choice])
+			released[choice] = true
+			releasedCount++
+		}
+	}()
+
+	var results []CellResult
+	aggs, err := cs.execute(context.Background(), func(r CellResult) { results = append(results, r) })
+	// On failure the scheduler cancels in-flight cells: their run funcs
+	// return via ctx.Done without hitting the controller, so unblock it.
+	close(started)
+	<-ctrlDone
+
+	phaseMu.Lock()
+	phasesCopy := append([]CellPhase(nil), phases...)
+	phaseMu.Unlock()
+	if err == nil {
+		for i, ph := range phasesCopy {
+			if ph != CellDone {
+				t.Fatalf("cell %d phase %q after success, want done", i, ph)
+			}
+		}
+	}
+	return results, aggs, phasesCopy, err
+}
+
+// checkOrdered asserts the committed stream is exactly cells 0..n-1,
+// each with trials 0..trials-1, in lexicographic order.
+func checkOrdered(t *testing.T, results []CellResult, n, trials int) {
+	t.Helper()
+	if len(results) != n*trials {
+		t.Fatalf("%d results, want %d", len(results), n*trials)
+	}
+	for i, r := range results {
+		cell, trial := i/trials, i%trials
+		if r.Cell != cell || r.TrialResult != stubResult(cell, trial) {
+			t.Fatalf("result %d = %+v, want cell %d trial %d", i, r, cell, trial)
+		}
+	}
+}
+
+// TestCellSchedulerReverseCompletion completes every window in reverse:
+// the head cell of each window always finishes last, so every cell's
+// results pass through the reorder buffer before committing.
+func TestCellSchedulerReverseCompletion(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		const n, trials = 8, 5
+		results, aggs, _, err := stubSchedule(t, n, trials, workers, -1, func(running []int) int {
+			max := running[0]
+			for _, c := range running {
+				if c > max {
+					max = c
+				}
+			}
+			return max
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkOrdered(t, results, n, trials)
+		for i, agg := range aggs {
+			if agg == nil || agg.Completed != trials {
+				t.Fatalf("workers=%d: cell %d aggregate %+v", workers, i, agg)
+			}
+		}
+	}
+}
+
+// TestCellSchedulerRandomCompletion completes cells in seeded random
+// order across several seeds and window sizes.
+func TestCellSchedulerRandomCompletion(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 2 + rng.Intn(7)
+		const n, trials = 12, 3
+		results, _, _, err := stubSchedule(t, n, trials, workers, -1, func(running []int) int {
+			return running[rng.Intn(len(running))]
+		})
+		if err != nil {
+			t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+		}
+		checkOrdered(t, results, n, trials)
+	}
+}
+
+// TestCellSchedulerFailureCommitOrder: with reverse completion and cell
+// 2 failing at its end, cells 0 and 1 commit their full streams first,
+// cell 2's already-delivered trials precede its error (matching the
+// sequential path, where a cell streams trials live until it fails), the
+// returned error names cell 2, and nothing from any later cell leaks
+// into the committed stream.
+func TestCellSchedulerFailureCommitOrder(t *testing.T) {
+	const n, trials, workers, failCell = 8, 4, 4, 2
+	results, aggs, phases, err := stubSchedule(t, n, trials, workers, failCell, func(running []int) int {
+		max := running[0]
+		for _, c := range running {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	})
+	if err == nil {
+		t.Fatal("failing cell did not fail the schedule")
+	}
+	if !strings.Contains(err.Error(), "cell 2 (stub)") {
+		t.Fatalf("error lost the failing cell's identity: %v", err)
+	}
+	if aggs != nil {
+		t.Fatalf("aggregates returned despite failure: %v", aggs)
+	}
+	checkOrdered(t, results, failCell+1, trials)
+	// The scheduler marks the failing cell itself; committed cells stay
+	// done, and nothing reads running once execute returned.
+	if phases[failCell] != CellFailed {
+		t.Fatalf("failing cell phase %q, want failed", phases[failCell])
+	}
+	for i := 0; i < failCell; i++ {
+		if phases[i] != CellDone {
+			t.Fatalf("committed cell %d phase %q, want done", i, phases[i])
+		}
+	}
+}
+
+// TestCellSchedulerWindowBound: the admission window never exceeds the
+// worker count — at most K cells are admitted but uncommitted, which is
+// what bounds concurrently-held workspaces and the reorder buffer.
+func TestCellSchedulerWindowBound(t *testing.T) {
+	const n, workers = 16, 3
+	var mu sync.Mutex
+	admitted, committed, maxWindow := 0, 0, 0
+	cs := &cellScheduler{
+		n:       n,
+		workers: workers,
+		admit: func(cell int) error {
+			mu.Lock()
+			admitted++
+			if w := admitted - committed; w > maxWindow {
+				maxWindow = w
+			}
+			mu.Unlock()
+			return nil
+		},
+		run: func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			deliver(stubResult(cell, 0))
+			return &Aggregate{Completed: 1}, nil
+		},
+		wrap: func(cell int, err error) error { return err },
+		onPhase: func(cell int, ph CellPhase) {
+			if ph == CellDone {
+				mu.Lock()
+				committed++
+				mu.Unlock()
+			}
+		},
+	}
+	var results []CellResult
+	if _, err := cs.execute(context.Background(), func(r CellResult) { results = append(results, r) }); err != nil {
+		t.Fatal(err)
+	}
+	checkOrdered(t, results, n, 1)
+	if maxWindow > workers {
+		t.Fatalf("admission window reached %d with %d workers", maxWindow, workers)
+	}
+}
+
+// TestCellSchedulerContextCancel: cancelling mid-schedule surfaces
+// context.Canceled (possibly wrapped by a cell error) and never a
+// partial success.
+func TestCellSchedulerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cs := &cellScheduler{
+		n:       6,
+		workers: 2,
+		admit:   func(cell int) error { return nil },
+		run: func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			if cell == 1 {
+				cancel()
+			}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+		wrap: func(cell int, err error) error { return fmt.Errorf("cell %d: %w", cell, err) },
+	}
+	aggs, err := cs.execute(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if aggs != nil {
+		t.Fatalf("partial aggregates after cancel: %v", aggs)
+	}
+}

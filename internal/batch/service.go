@@ -28,7 +28,8 @@ import (
 //	                              campaign until it finishes)
 //	POST /v1/sweeps               submit a SweepSpec; 202 + {id, ...}
 //	GET  /v1/sweeps               list sweep summaries
-//	GET  /v1/sweeps/{id}          status + per-cell online aggregates
+//	GET  /v1/sweeps/{id}          status + per-cell online aggregates and
+//	                              scheduler phases (queued/running/done/failed)
 //	GET  /v1/sweeps/{id}/results  per-cell trial results as NDJSON in
 //	                              (cell, trial) order, streamed live
 //	GET  /v1/sweeps/{id}/table    cross-cell summary grid (header + rows)
@@ -38,7 +39,10 @@ import (
 // over HTTP yields exactly the per-trial results and aggregates of
 // Compile + Run with the same Spec, and a sweep yields exactly those of
 // CompileSweep + Run — cell by cell, byte for byte (service_test.go
-// enforces both). Campaign and sweep jobs share one graph cache, so a
+// enforces both), for every cell-worker count: sweep cells execute in
+// parallel (the spec's cell_workers, defaulting to ServerConfig.
+// CellWorkers) behind a reorder buffer that keeps delivery in (cell,
+// trial) order. Campaign and sweep jobs share one graph cache, so a
 // sweep cell re-using an earlier campaign's graph is a cache hit.
 
 // JobState is the lifecycle of a submitted campaign.
@@ -60,6 +64,10 @@ const (
 type ServerConfig struct {
 	// CampaignWorkers is how many campaigns run concurrently (default 2).
 	CampaignWorkers int
+	// CellWorkers is the cell-level parallelism substituted into sweep
+	// submissions that leave cell_workers unset or <= 0 (default 2). It
+	// never affects results, only wall-clock time.
+	CellWorkers int
 	// QueueDepth bounds the backlog of queued campaigns; submissions
 	// beyond it are rejected with 503 (default 64).
 	QueueDepth int
@@ -74,6 +82,9 @@ type ServerConfig struct {
 func (c ServerConfig) withDefaults() ServerConfig {
 	if c.CampaignWorkers < 1 {
 		c.CampaignWorkers = 2
+	}
+	if c.CellWorkers < 1 {
+		c.CellWorkers = 2
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 64
@@ -103,6 +114,7 @@ type Job struct {
 	final       *Aggregate      // Run's own aggregate, once done
 	cellResults []CellResult    // sweep results in (cell, trial) order
 	cellOnline  []*stats.Online // live per-cell aggregates
+	cellPhases  []CellPhase     // per-cell scheduler phase (see CellPhase)
 	cellFinal   []CellSummary   // Sweep.Run's own summaries, once done
 	errMsg      string
 	notify      chan struct{} // closed and replaced on every state change
@@ -174,6 +186,7 @@ func (j *Job) sweepStatusLocked(withCells bool) sweepStatus {
 	}
 	for i, spec := range j.cellSpecs {
 		cs := cellSummary(i, spec, nil)
+		cs.Phase = j.cellPhases[i]
 		if o := j.cellOnline[i]; o.N() > 0 {
 			if summary, err := o.Summary(); err == nil {
 				cs.Aggregate = &Aggregate{Completed: o.N(), Rounds: summary}
@@ -307,12 +320,19 @@ func (s *Server) runJob(job *Job) {
 }
 
 // runSweepJob executes a sweep job against the server's shared graph
-// cache, accumulating results in (cell, trial) order.
+// cache, accumulating results in (cell, trial) order and tracking each
+// cell's scheduler phase for the status endpoint.
 func (s *Server) runSweepJob(job *Job, fail func(error)) {
 	sweep, err := CompileSweep(*job.sweep, s.cache)
 	if err != nil {
 		fail(err)
 		return
+	}
+	sweep.OnCellPhase = func(cell int, phase CellPhase) {
+		job.mu.Lock()
+		job.cellPhases[cell] = phase
+		job.bumpLocked()
+		job.mu.Unlock()
 	}
 	cells, err := sweep.Run(s.ctx, func(r CellResult) {
 		job.mu.Lock()
@@ -322,8 +342,21 @@ func (s *Server) runSweepJob(job *Job, fail func(error)) {
 		job.mu.Unlock()
 	})
 	if err != nil {
+		// Cells admitted but never committed are dead, not running: leave
+		// no phantom "running" phases behind on a failed job (cells still
+		// "queued" genuinely never started).
+		job.mu.Lock()
+		for i, ph := range job.cellPhases {
+			if ph == CellRunning {
+				job.cellPhases[i] = CellFailed
+			}
+		}
+		job.mu.Unlock()
 		fail(err)
 		return
+	}
+	for i := range cells {
+		cells[i].Phase = CellDone
 	}
 	job.mu.Lock()
 	job.cellFinal = cells
@@ -518,6 +551,13 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A submission that leaves cell-level parallelism unset inherits the
+	// server's -cell-workers default; the applied value is echoed in the
+	// job's status. Results are identical either way.
+	if spec.CellWorkers <= 0 {
+		spec.CellWorkers = s.cfg.CellWorkers
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%06d", s.nextID)
@@ -529,11 +569,13 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		cellSpecs:  cellSpecs,
 		state:      StateQueued,
 		cellOnline: make([]*stats.Online, len(cellSpecs)),
+		cellPhases: make([]CellPhase, len(cellSpecs)),
 		notify:     make(chan struct{}),
 		created:    time.Now(),
 	}
 	for i := range job.cellOnline {
 		job.cellOnline[i] = stats.NewOnline()
+		job.cellPhases[i] = CellQueued
 	}
 
 	// As for campaigns: reserve the queue slot before publishing the job.

@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,21 +24,28 @@ import (
 //
 //	cell index c = ((gi·|P| + pi)·|B| + bi)·|R| + ri
 //
-// Graphs vary slowest by design: consecutive cells share a graph, so even
-// a capacity-1 cache and a cold workspace pool stay warm through a whole
-// graph's block of cells.
+// CellIndex and CellCoords expose the bijection both ways. Graphs vary
+// slowest by design: each graph's cells form one contiguous block, so
+// admitting cells in cell-index order means all cells of graph g touch
+// the cache before any cell of graph g+1 — even a capacity-1 cache and a
+// cold workspace pool stay warm through a whole graph's block of cells.
 //
 // # Sweep determinism contract
 //
 // Every cell carries the sweep's master seed, so trial k of cell c is a
 // pure function of (cell spec, sweep seed, k) — and is *byte-identical*
 // to trial k of the standalone campaign obtained by submitting cell c's
-// Spec on its own (same graph spec, config, and seed). Cells execute and
-// deliver in cell-index order, trials in trial-index order within each
-// cell, so the flattened result stream and all aggregates are independent
-// of worker count, cache temperature, workspace sharing, and the HTTP vs
-// library entry point. sweep_test.go and service_test.go enforce every
-// clause under the race detector.
+// Spec on its own (same graph spec, config, and seed). Cells are
+// *admitted* (compiled) strictly in cell-index order and their results
+// are *committed* strictly in (cell, trial) order, so the flattened
+// result stream and all aggregates are independent of trial worker
+// count, cell worker count, completion order, cache temperature,
+// workspace sharing, and the HTTP vs library entry point. Between
+// admission and commit, up to CellWorkers cells execute concurrently; a
+// reorder buffer in the cell scheduler (cellsched.go) holds results that
+// complete out of order until their cell reaches the head of the commit
+// order. sweep_test.go, sweep_conform_test.go, cellsched_test.go and
+// service_test.go enforce every clause under the race detector.
 
 // SweepSpec describes a parameter-sweep campaign: the cross product of
 // the axes (Graphs × Processes × Branches × Rhos) expands to a grid of
@@ -65,6 +73,10 @@ type SweepSpec struct {
 	// Workers bounds trial-level parallelism within a cell (<= 0:
 	// GOMAXPROCS). It never affects results, only wall-clock time.
 	Workers int `json:"workers,omitempty"`
+	// CellWorkers bounds how many cells execute concurrently (<= 0: 1,
+	// i.e. sequential cells; cobrad substitutes its -cell-workers default
+	// for 0). Like Workers it never affects results, only wall-clock time.
+	CellWorkers int `json:"cell_workers,omitempty"`
 	// MaxRounds caps a single trial (0: library default).
 	MaxRounds int `json:"max_rounds,omitempty"`
 }
@@ -80,6 +92,30 @@ func (s SweepSpec) rhos() []float64 {
 // CellCount returns the number of cells the sweep expands to.
 func (s SweepSpec) CellCount() int {
 	return len(s.Graphs) * len(s.Processes) * len(s.Branches) * len(s.rhos())
+}
+
+// CellIndex returns the cell index of the grid point (gi, pi, bi, ri):
+// row-major with graphs outermost, rhos innermost. Coordinates are not
+// range-checked; combine with CellCoords for the round-trip property
+// (sweep_index_test.go).
+func (s SweepSpec) CellIndex(gi, pi, bi, ri int) int {
+	return ((gi*len(s.Processes)+pi)*len(s.Branches)+bi)*len(s.rhos()) + ri
+}
+
+// CellCoords inverts CellIndex: the grid coordinates of cell c. The
+// graph coordinate gi = c / (cells per graph) is non-decreasing in c, so
+// iterating cells in index order visits each graph's cells as one
+// contiguous block — the admission-order guarantee the cell scheduler
+// relies on for single compilation per graph.
+func (s SweepSpec) CellCoords(c int) (gi, pi, bi, ri int) {
+	nr := len(s.rhos())
+	ri = c % nr
+	c /= nr
+	bi = c % len(s.Branches)
+	c /= len(s.Branches)
+	pi = c % len(s.Processes)
+	gi = c / len(s.Processes)
+	return gi, pi, bi, ri
 }
 
 // Validate checks every axis and scalar without building any graph.
@@ -125,7 +161,7 @@ func (s SweepSpec) Validate() error {
 	}
 	seenRho := make(map[float64]bool, len(s.rhos()))
 	for _, rho := range s.rhos() {
-		if rho < 0 || rho > 1 {
+		if math.IsNaN(rho) || rho < 0 || rho > 1 {
 			return fmt.Errorf("%w: rho must be in [0,1], got %v", ErrInput, rho)
 		}
 		if seenRho[rho] {
@@ -150,25 +186,22 @@ func (s SweepSpec) Validate() error {
 // Cells()[c].Validate() == nil, and running it as a standalone campaign
 // reproduces the sweep cell byte for byte.
 func (s SweepSpec) Cells() []Spec {
-	cells := make([]Spec, 0, s.CellCount())
-	for _, g := range s.Graphs {
-		for _, proc := range s.Processes {
-			for _, b := range s.Branches {
-				for _, rho := range s.rhos() {
-					cells = append(cells, Spec{
-						Graph:     g,
-						Process:   strings.ToLower(proc),
-						Branch:    b,
-						Rho:       rho,
-						Lazy:      s.Lazy,
-						Start:     s.Start,
-						Trials:    s.Trials,
-						Seed:      s.Seed,
-						Workers:   s.Workers,
-						MaxRounds: s.MaxRounds,
-					})
-				}
-			}
+	n := s.CellCount()
+	rhos := s.rhos()
+	cells := make([]Spec, n)
+	for c := 0; c < n; c++ {
+		gi, pi, bi, ri := s.CellCoords(c)
+		cells[c] = Spec{
+			Graph:     s.Graphs[gi],
+			Process:   strings.ToLower(s.Processes[pi]),
+			Branch:    s.Branches[bi],
+			Rho:       rhos[ri],
+			Lazy:      s.Lazy,
+			Start:     s.Start,
+			Trials:    s.Trials,
+			Seed:      s.Seed,
+			Workers:   s.Workers,
+			MaxRounds: s.MaxRounds,
 		}
 	}
 	return cells
@@ -183,30 +216,45 @@ type CellResult struct {
 }
 
 // CellSummary is the per-cell aggregate row of a sweep: the cell's grid
-// coordinates plus its online rounds summary.
+// coordinates plus its online rounds summary. Phase is filled only by
+// the cobrad status endpoint (see CellPhase, while the sweep is in
+// flight); library Run results leave it empty.
 type CellSummary struct {
 	Cell      int        `json:"cell"`
 	Graph     string     `json:"graph"`
 	Process   string     `json:"process"`
 	Branch    int        `json:"branch"`
 	Rho       float64    `json:"rho"`
+	Phase     CellPhase  `json:"phase,omitempty"`
 	Aggregate *Aggregate `json:"aggregate,omitempty"`
 }
 
-// Sweep is a compiled sweep: every cell campaign compiled against one
-// shared graph cache and one shared workspace pool.
+// Sweep is a prepared sweep: the expanded cell grid plus the shared graph
+// cache and workspace pool every cell compiles against. Cell campaigns
+// are compiled lazily, at admission time during Run, in cell-index order
+// — overlapping graph construction with earlier cells' trials and
+// keeping the single-compile-per-graph guarantee even at cache
+// capacity 1 (each graph's cells are admitted as one contiguous block).
 type Sweep struct {
-	spec  SweepSpec
-	cells []*Campaign
-	cache *Cache
+	spec      SweepSpec
+	cellSpecs []Spec
+	cells     []*Campaign // compiled at admission; cells[c] set once c ran
+	cache     *Cache
+	pool      *sync.Pool
+
+	// OnCellPhase, when set before Run, observes each cell's lifecycle
+	// (queued → running at admission → done at commit). It may be invoked
+	// concurrently for different cells; calls for one cell are ordered.
+	OnCellPhase func(cell int, phase CellPhase)
 }
 
-// CompileSweep validates spec and compiles every cell. Cells sharing a
-// graph spec share one compiled graph: with a caller-provided cache each
-// distinct graph is built at most once across the sweep *and* every other
-// campaign using that cache; with a nil cache the sweep creates a private
-// cache sized to its own graph axis, preserving the single-compile
-// guarantee sweep-locally.
+// CompileSweep validates spec and prepares its cell grid. Cell campaigns
+// compile during Run, at admission: cells sharing a graph spec share one
+// compiled graph — with a caller-provided cache each distinct graph is
+// built at most once across the sweep *and* every other campaign using
+// that cache; with a nil cache the sweep creates a private cache sized to
+// its own graph axis, preserving the single-compile guarantee
+// sweep-locally.
 func CompileSweep(spec SweepSpec, cache *Cache) (*Sweep, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -216,49 +264,71 @@ func CompileSweep(spec SweepSpec, cache *Cache) (*Sweep, error) {
 	}
 	pool := &sync.Pool{New: func() any { return engine.NewWorkspace() }}
 	cellSpecs := spec.Cells()
-	cells := make([]*Campaign, len(cellSpecs))
-	for i, cs := range cellSpecs {
-		c, err := compile(cs, cache, pool)
-		if err != nil {
-			return nil, fmt.Errorf("cell %d (%s): %w", i, cellName(cs), err)
-		}
-		cells[i] = c
-	}
-	return &Sweep{spec: spec, cells: cells, cache: cache}, nil
+	return &Sweep{
+		spec:      spec,
+		cellSpecs: cellSpecs,
+		cells:     make([]*Campaign, len(cellSpecs)),
+		cache:     cache,
+		pool:      pool,
+	}, nil
 }
 
 // Spec returns the sweep specification.
 func (sw *Sweep) Spec() SweepSpec { return sw.spec }
 
-// Cells returns the compiled cell campaigns in cell-index order.
+// Cells returns the cell campaigns in cell-index order. Campaigns are
+// compiled at admission during Run: after a successful Run every entry is
+// non-nil; before one, entries are nil.
 func (sw *Sweep) Cells() []*Campaign { return sw.cells }
 
 // CacheStats exposes the sweep's graph-cache counters (the caller's cache
 // when one was provided).
 func (sw *Sweep) CacheStats() (hits, misses int64, size int) { return sw.cache.Stats() }
 
-// Run executes every cell in cell-index order and returns the per-cell
-// summaries. Completed trials are delivered to onResult (may be nil) in
-// (cell, trial) order, each before it is folded into its cell's
-// aggregate. Trial-level parallelism within a cell follows the spec's
-// Workers; cells themselves run sequentially, which keeps the flattened
-// result stream deterministic and the shared cache/workspace pool warm.
-// Cancel ctx to abort; the first failing cell stops the sweep.
+// Run executes the sweep and returns the per-cell summaries. Completed
+// trials are delivered to onResult (may be nil) in strict (cell, trial)
+// order, each before it is folded into its cell's aggregate, regardless
+// of the order cells finish in. Up to Spec.CellWorkers cells execute
+// concurrently (<= 0: one at a time), each parallelizing its trials per
+// Spec.Workers; neither knob affects results, only wall-clock time. Cells
+// are admitted — compiled through the shared cache — strictly in
+// cell-index order, and at most CellWorkers cells hold workspaces or
+// buffered results at once (see cellsched.go). Cancel ctx to abort; the
+// first failing cell in commit order stops the sweep. A Sweep must not
+// be run concurrently with itself.
 func (sw *Sweep) Run(ctx context.Context, onResult func(CellResult)) ([]CellSummary, error) {
-	summaries := make([]CellSummary, len(sw.cells))
-	for i, c := range sw.cells {
-		var cb func(TrialResult)
-		if onResult != nil {
-			cell := i
-			cb = func(r TrialResult) { onResult(CellResult{Cell: cell, TrialResult: r}) }
-		}
-		agg, err := c.Run(ctx, cb)
-		if err != nil {
-			return nil, fmt.Errorf("cell %d (%s): %w", i, cellName(c.spec), err)
-		}
-		summaries[i] = cellSummary(i, c.spec, agg)
+	sched := &cellScheduler{
+		n:       len(sw.cellSpecs),
+		workers: sw.spec.CellWorkers,
+		admit:   sw.compileCell,
+		run: func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			return sw.cells[cell].Run(ctx, deliver)
+		},
+		wrap: func(cell int, err error) error {
+			return fmt.Errorf("cell %d (%s): %w", cell, cellName(sw.cellSpecs[cell]), err)
+		},
+		onPhase: sw.OnCellPhase,
+	}
+	aggs, err := sched.execute(ctx, onResult)
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]CellSummary, len(aggs))
+	for i, agg := range aggs {
+		summaries[i] = cellSummary(i, sw.cellSpecs[i], agg)
 	}
 	return summaries, nil
+}
+
+// compileCell compiles cell c against the shared cache and pool; it runs
+// on the scheduler's admission goroutine, in cell-index order.
+func (sw *Sweep) compileCell(c int) error {
+	campaign, err := compile(sw.cellSpecs[c], sw.cache, sw.pool)
+	if err != nil {
+		return err
+	}
+	sw.cells[c] = campaign
+	return nil
 }
 
 func cellSummary(i int, spec Spec, agg *Aggregate) CellSummary {

@@ -1,0 +1,309 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The sweep conformance suite: the parallel-cell scheduler must be
+// *observably absent* from sweep output. The NDJSON result stream — the
+// wire format of GET /v1/sweeps/{id}/results, byte for byte — of a sweep
+// run with any CellWorkers count must equal the sequential
+// (CellWorkers=1) run, must equal the concatenation of its cells
+// submitted as standalone PR 2 campaigns, across trial worker counts,
+// cache temperatures, and the HTTP vs library entry point. Run under
+// -race in CI; any scheduler change that reorders delivery or perturbs a
+// trial fails byte equality here before it can ship.
+
+// ndjsonCells encodes cell results exactly like the cobrad results
+// endpoint: one json.Encoder line per result.
+func ndjsonCells(t *testing.T, results []CellResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// conformSpec is the conformance workload: 2 graphs x 2 processes x 2
+// branches = 8 cells, small enough for the full matrix under -race.
+func conformSpec() SweepSpec {
+	spec := testSweepSpec()
+	spec.Trials = 8
+	return spec
+}
+
+// sequentialBaseline runs the PR 3-equivalent schedule: one cell at a
+// time, one trial worker, private cache.
+func sequentialBaseline(t *testing.T, spec SweepSpec) ([]CellResult, []CellSummary, []byte) {
+	t.Helper()
+	spec.CellWorkers = 1
+	spec.Workers = 1
+	results, cells := runSweep(t, spec, nil)
+	return results, cells, ndjsonCells(t, results)
+}
+
+// TestSweepConformanceLibrary sweeps the (CellWorkers, Workers, cache)
+// matrix through the library path and demands byte-identical NDJSON and
+// identical per-cell aggregates everywhere — including a capacity-1
+// cache, where admission-order contiguity is the only thing standing
+// between the scheduler and a recompile.
+func TestSweepConformanceLibrary(t *testing.T) {
+	spec := conformSpec()
+	_, baseCells, baseline := sequentialBaseline(t, spec)
+
+	// warm is shared by every matrix point: after the first run it always
+	// holds both graphs, so runs against it are true warm-cache runs.
+	warm := NewCache(len(spec.Graphs))
+	runs := 0
+
+	for _, cellWorkers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, workers := range []int{1, 2} {
+			spec.CellWorkers = cellWorkers
+			spec.Workers = workers
+			label := fmt.Sprintf("cellworkers=%d workers=%d", cellWorkers, workers)
+
+			// Cold: a fresh capacity-1 cache. Admission-order contiguity
+			// must keep it at one compile per distinct graph even with
+			// every cell worker hitting it.
+			cold := NewCache(1)
+			results, cells := runSweep(t, spec, cold)
+			if got := ndjsonCells(t, results); !bytes.Equal(got, baseline) {
+				t.Fatalf("%s cold: NDJSON differs from sequential baseline", label)
+			}
+			if hits, misses, _ := cold.Stats(); misses != int64(len(spec.Graphs)) {
+				t.Fatalf("%s cold: %d compiles (hits=%d) for %d distinct graphs at cache capacity 1",
+					label, misses, hits, len(spec.Graphs))
+			}
+			for i := range cells {
+				if *cells[i].Aggregate != *baseCells[i].Aggregate {
+					t.Fatalf("%s cold: cell %d aggregate differs", label, i)
+				}
+			}
+
+			// Warm: the shared roomy cache — identical bytes again.
+			results, cells = runSweep(t, spec, warm)
+			runs++
+			if got := ndjsonCells(t, results); !bytes.Equal(got, baseline) {
+				t.Fatalf("%s warm: NDJSON differs from sequential baseline", label)
+			}
+			for i := range cells {
+				if *cells[i].Aggregate != *baseCells[i].Aggregate {
+					t.Fatalf("%s warm: cell %d aggregate differs", label, i)
+				}
+			}
+		}
+	}
+	// Across every warm run, each distinct graph compiled exactly once.
+	hits, misses, _ := warm.Stats()
+	if want := int64(len(spec.Graphs)); misses != want {
+		t.Fatalf("warm cache compiled %d times across %d runs, want %d", misses, runs, want)
+	}
+	if want := int64(runs*spec.CellCount()) - int64(len(spec.Graphs)); hits != want {
+		t.Fatalf("warm cache hits=%d, want %d", hits, want)
+	}
+}
+
+// TestSweepConformanceStandaloneCells re-derives the sweep stream from
+// scratch: every cell submitted as its own standalone campaign, results
+// tagged with the cell index and concatenated in cell order, must
+// reproduce the parallel sweep's NDJSON byte for byte.
+func TestSweepConformanceStandaloneCells(t *testing.T) {
+	spec := conformSpec()
+	_, _, baseline := sequentialBaseline(t, spec)
+
+	var rebuilt []CellResult
+	for c, cellSpec := range spec.Cells() {
+		cellSpec.Workers = 2 // trial workers are invisible to results
+		results, _ := runCampaign(t, cellSpec, nil)
+		for _, r := range results {
+			rebuilt = append(rebuilt, CellResult{Cell: c, TrialResult: r})
+		}
+	}
+	if got := ndjsonCells(t, rebuilt); !bytes.Equal(got, baseline) {
+		t.Fatal("standalone-campaign reconstruction differs from sweep NDJSON")
+	}
+}
+
+// fetchSweepNDJSON reads the raw results body — the actual wire bytes,
+// not a decoded re-encoding.
+func fetchSweepNDJSON(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep results: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestSweepConformanceHTTP extends byte equality over the wire: the live
+// NDJSON stream of a parallel-cell sweep job equals the sequential
+// library baseline for every (CellWorkers, Workers) combination, cold
+// and warm server cache.
+func TestSweepConformanceHTTP(t *testing.T) {
+	spec := conformSpec()
+	_, _, baseline := sequentialBaseline(t, spec)
+
+	for _, cellWorkers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, workers := range []int{1, 2} {
+			spec.CellWorkers = cellWorkers
+			spec.Workers = workers
+			label := fmt.Sprintf("cellworkers=%d workers=%d", cellWorkers, workers)
+
+			// Fresh server per combination: cold cache, then warm.
+			_, ts := newTestServer(t, ServerConfig{CampaignWorkers: 2})
+			for _, temp := range []string{"cold", "warm"} {
+				id := postSweep(t, ts, spec)
+				if got := fetchSweepNDJSON(t, ts, id); !bytes.Equal(got, baseline) {
+					t.Fatalf("%s %s: HTTP NDJSON differs from sequential library baseline", label, temp)
+				}
+				awaitSweepState(t, ts, id, StateDone)
+			}
+		}
+	}
+}
+
+// TestSweepConformanceServerDefaultCellWorkers: a submission that leaves
+// cell_workers unset inherits the server default (echoed in status) and
+// still reproduces the sequential bytes.
+func TestSweepConformanceServerDefaultCellWorkers(t *testing.T) {
+	spec := conformSpec()
+	_, _, baseline := sequentialBaseline(t, spec)
+
+	spec.CellWorkers = 0
+	_, ts := newTestServer(t, ServerConfig{CellWorkers: 4})
+	id := postSweep(t, ts, spec)
+	if got := fetchSweepNDJSON(t, ts, id); !bytes.Equal(got, baseline) {
+		t.Fatal("server-default cell workers: NDJSON differs from sequential baseline")
+	}
+	st := awaitSweepState(t, ts, id, StateDone)
+	if st.Spec.CellWorkers != 4 {
+		t.Fatalf("status echoes cell_workers=%d, want the server default 4", st.Spec.CellWorkers)
+	}
+}
+
+// TestSweepPhasesReachDone: after a sweep finishes, every cell's status
+// phase reads done (the queued/running intermediates are timing-
+// dependent; the terminal phase is not).
+func TestSweepPhasesReachDone(t *testing.T) {
+	spec := conformSpec()
+	spec.CellWorkers = 2
+	spec.Trials = 2
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postSweep(t, ts, spec)
+	st := awaitSweepState(t, ts, id, StateDone)
+	if len(st.CellAggs) != spec.CellCount() {
+		t.Fatalf("%d cell aggregates for %d cells", len(st.CellAggs), spec.CellCount())
+	}
+	for i, cs := range st.CellAggs {
+		if cs.Phase != CellDone {
+			t.Fatalf("cell %d phase %q after completion, want %q", i, cs.Phase, CellDone)
+		}
+	}
+}
+
+// TestSweepPhasesOnFailure: a failed sweep must leave no phantom
+// "running" phases — the failing cell and any cancelled in-flight cells
+// read failed, never-admitted cells stay queued.
+func TestSweepPhasesOnFailure(t *testing.T) {
+	spec := SweepSpec{
+		Graphs:      []string{"path:400", "path:401"},
+		Processes:   []string{"cobra"},
+		Branches:    []int{2, 3},
+		Trials:      4,
+		Seed:        1,
+		MaxRounds:   2, // a 400-path cannot cover in 2 rounds: every cell fails
+		CellWorkers: 2,
+	}
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postSweep(t, ts, spec)
+	st := awaitSweepState(t, ts, id, StateFailed)
+	if len(st.CellAggs) != spec.CellCount() {
+		t.Fatalf("%d cell aggregates for %d cells", len(st.CellAggs), spec.CellCount())
+	}
+	sawFailed := false
+	for i, cs := range st.CellAggs {
+		switch cs.Phase {
+		case CellFailed:
+			sawFailed = true
+		case CellQueued, CellDone:
+		default:
+			t.Fatalf("cell %d phase %q on a failed sweep", i, cs.Phase)
+		}
+	}
+	if !sawFailed {
+		t.Fatal("no cell marked failed on a failed sweep")
+	}
+}
+
+// TestSweepPhasesOnCompileFailure: an admission (compile-time) failure —
+// here a start vertex out of range for the cell's graph, checkable only
+// against the built graph — must also mark the failing cell failed, not
+// leave it queued forever on a failed job.
+func TestSweepPhasesOnCompileFailure(t *testing.T) {
+	spec := SweepSpec{
+		Graphs:      []string{"rreg:256:3"},
+		Processes:   []string{"cobra"},
+		Branches:    []int{2, 3},
+		Start:       300, // out of range for n=256, undetectable pre-compile
+		Trials:      2,
+		Seed:        1,
+		CellWorkers: 2,
+	}
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postSweep(t, ts, spec)
+	st := awaitSweepState(t, ts, id, StateFailed)
+	if !strings.Contains(st.Error, "out of range") {
+		t.Fatalf("unexpected failure %q", st.Error)
+	}
+	if len(st.CellAggs) == 0 || st.CellAggs[0].Phase != CellFailed {
+		t.Fatalf("admission-failed cell phase %+v, want failed", st.CellAggs)
+	}
+}
+
+// TestSweepCellOrderUnderParallelRun pins the committed stream shape
+// directly: strictly increasing (cell, trial) lexicographic order, every
+// trial present, even at maximum cell parallelism.
+func TestSweepCellOrderUnderParallelRun(t *testing.T) {
+	spec := conformSpec()
+	spec.CellWorkers = spec.CellCount() // every cell in flight at once
+	sw, err := CompileSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []CellResult
+	if _, err := sw.Run(context.Background(), func(r CellResult) { results = append(results, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != spec.CellCount()*spec.Trials {
+		t.Fatalf("%d results, want %d", len(results), spec.CellCount()*spec.Trials)
+	}
+	for i, r := range results {
+		if want, got := i/spec.Trials, r.Cell; got != want {
+			t.Fatalf("result %d: cell %d, want %d", i, got, want)
+		}
+		if want := i % spec.Trials; r.Trial != want {
+			t.Fatalf("result %d: trial %d, want %d", i, r.Trial, want)
+		}
+	}
+}

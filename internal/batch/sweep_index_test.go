@@ -1,0 +1,135 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property and fuzz coverage for the row-major cell indexing bijection
+// (CellIndex/CellCoords) and the contiguity guarantee the cell
+// scheduler's admission order builds on: iterating cells in index order
+// visits each graph's cells as one contiguous, non-decreasing block, so
+// sequential admission gives single compilation per distinct graph at
+// any cache capacity — by construction, not by luck.
+
+// shapeSpec builds a spec whose axes have the given lengths; the entry
+// values are irrelevant to indexing (only lengths are used). nr == 0
+// exercises the empty-Rhos default (one implicit rho).
+func shapeSpec(ng, np, nb, nr int) SweepSpec {
+	s := SweepSpec{
+		Graphs:    make([]string, ng),
+		Processes: make([]string, np),
+		Branches:  make([]int, nb),
+	}
+	if nr > 0 {
+		s.Rhos = make([]float64, nr)
+	}
+	return s
+}
+
+// checkCellIndexBijection asserts the full round-trip and contiguity
+// contract for one axis shape; it is shared by the property test and the
+// fuzz target.
+func checkCellIndexBijection(t interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}, s SweepSpec) {
+	t.Helper()
+	ng, np, nb := len(s.Graphs), len(s.Processes), len(s.Branches)
+	nr := len(s.rhos())
+	total := s.CellCount()
+	if total != ng*np*nb*nr {
+		t.Fatalf("CellCount %d != %d*%d*%d*%d", total, ng, np, nb, nr)
+	}
+	perGraph := total / ng
+
+	// Forward: every coordinate tuple maps into range and round-trips.
+	c := 0
+	for gi := 0; gi < ng; gi++ {
+		for pi := 0; pi < np; pi++ {
+			for bi := 0; bi < nb; bi++ {
+				for ri := 0; ri < nr; ri++ {
+					got := s.CellIndex(gi, pi, bi, ri)
+					if got != c {
+						t.Fatalf("CellIndex(%d,%d,%d,%d) = %d, want %d (row-major, graphs outermost)",
+							gi, pi, bi, ri, got, c)
+					}
+					c++
+				}
+			}
+		}
+	}
+
+	// Backward: every index round-trips, and the graph coordinate is the
+	// contiguous-block function c / perGraph, non-decreasing in c.
+	prevGi := 0
+	for c := 0; c < total; c++ {
+		gi, pi, bi, ri := s.CellCoords(c)
+		if gi < 0 || gi >= ng || pi < 0 || pi >= np || bi < 0 || bi >= nb || ri < 0 || ri >= nr {
+			t.Fatalf("CellCoords(%d) = (%d,%d,%d,%d) out of range (%d,%d,%d,%d)",
+				c, gi, pi, bi, ri, ng, np, nb, nr)
+		}
+		if back := s.CellIndex(gi, pi, bi, ri); back != c {
+			t.Fatalf("CellIndex(CellCoords(%d)) = %d", c, back)
+		}
+		if want := c / perGraph; gi != want {
+			t.Fatalf("cell %d: graph coordinate %d, want contiguous block %d", c, gi, want)
+		}
+		if gi < prevGi {
+			t.Fatalf("cell %d: graph coordinate decreased %d -> %d (admission order broken)", c, prevGi, gi)
+		}
+		prevGi = gi
+	}
+}
+
+// TestCellIndexRoundTripProperty drives the bijection over 200 random
+// axis shapes (seeded, reproducible), including every length-1 and
+// empty-rho degenerate combination.
+func TestCellIndexRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xce11))
+	for i := 0; i < 200; i++ {
+		s := shapeSpec(1+rng.Intn(5), 1+rng.Intn(4), 1+rng.Intn(4), rng.Intn(5))
+		checkCellIndexBijection(t, s)
+	}
+	// Degenerate corners: single-cell grid, single-axis grids.
+	for _, s := range []SweepSpec{
+		shapeSpec(1, 1, 1, 0),
+		shapeSpec(7, 1, 1, 0),
+		shapeSpec(1, 2, 1, 1),
+		shapeSpec(1, 1, 6, 0),
+		shapeSpec(1, 1, 1, 9),
+	} {
+		checkCellIndexBijection(t, s)
+	}
+}
+
+// TestCellsMatchesCellCoords pins Cells() to the bijection: expanding
+// the grid and indexing it are the same function.
+func TestCellsMatchesCellCoords(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Rhos = []float64{0, 0.25, 0.5}
+	cells := spec.Cells()
+	for c, cell := range cells {
+		gi, pi, bi, ri := spec.CellCoords(c)
+		if cell.Graph != spec.Graphs[gi] || cell.Branch != spec.Branches[bi] || cell.Rho != spec.Rhos[ri] {
+			t.Fatalf("cell %d = %+v does not match CellCoords (%d,%d,%d,%d)", c, cell, gi, pi, bi, ri)
+		}
+		if cell.Process != spec.Processes[pi] {
+			t.Fatalf("cell %d process %q, want %q", c, cell.Process, spec.Processes[pi])
+		}
+	}
+}
+
+// FuzzCellIndexRoundTrip lets the fuzzer hunt for axis shapes that break
+// the bijection or the contiguity guarantee.
+func FuzzCellIndexRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(uint8(5), uint8(2), uint8(3), uint8(4))
+	f.Add(uint8(8), uint8(1), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, ng, np, nb, nr uint8) {
+		// Clamp to keep the exhaustive walk cheap: up to 8^3*9 cells.
+		s := shapeSpec(1+int(ng%8), 1+int(np%8), 1+int(nb%8), int(nr%9))
+		checkCellIndexBijection(t, s)
+	})
+}

@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
@@ -49,6 +50,8 @@ func TestSweepSpecValidate(t *testing.T) {
 		func(s *SweepSpec) { s.Branches = []int{2, 2} },
 		func(s *SweepSpec) { s.Rhos = []float64{2} },
 		func(s *SweepSpec) { s.Rhos = []float64{0.5, 0.5} },
+		func(s *SweepSpec) { s.Rhos = []float64{math.NaN()} }, // NaN evades range comparisons
+		func(s *SweepSpec) { s.Rhos = []float64{math.Inf(1)} },
 		func(s *SweepSpec) { s.Start = -1 },
 		func(s *SweepSpec) { s.Trials = 0 },
 		func(s *SweepSpec) { s.MaxRounds = -1 },
@@ -155,11 +158,24 @@ func TestSweepDeterminismAndStandaloneEquivalence(t *testing.T) {
 }
 
 // A nil cache still guarantees single compilation per distinct graph,
-// sweep-locally.
+// sweep-locally. Cells compile lazily at admission, so the counters are
+// checked after the run — and they must hold for parallel cells too.
 func TestSweepPrivateCacheSingleCompile(t *testing.T) {
 	spec := testSweepSpec()
+	spec.CellWorkers = 4
 	sw, err := CompileSweep(spec, nil)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, size := sw.CacheStats(); hits != 0 || misses != 0 || size != 0 {
+		t.Fatalf("graphs compiled before Run: hits=%d misses=%d size=%d", hits, misses, size)
+	}
+	for _, c := range sw.Cells() {
+		if c != nil {
+			t.Fatal("cell campaign compiled before Run")
+		}
+	}
+	if _, err := sw.Run(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses, size := sw.CacheStats()

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"github.com/repro/cobra/internal/batch"
 	"github.com/repro/cobra/internal/core"
@@ -22,7 +23,10 @@ import (
 // the empirically dominant cost is closer to 1/ρ.
 //
 // The ρ sweep is one batch.Sweep submission (graphs × {cobra, bips} ×
-// b=1 × rhos): each graph compiles once and is shared by its eight cells.
+// b=1 × rhos): each graph compiles once and is shared by its eight
+// cells, and cells execute in parallel (CellWorkers = GOMAXPROCS) behind
+// the sweep scheduler's reorder buffer — results are identical to the
+// sequential path by the sweep determinism contract.
 func E6Fractional(p Params) (*sim.Table, error) {
 	trials := pick(p, 8, 40)
 	tb := sim.NewTable("E6: Section 6 — fractional branching b = 1+rho",
@@ -32,13 +36,14 @@ func E6Fractional(p Params) (*sim.Table, error) {
 	n := pick(p, 64, 512)
 	rhos := []float64{1, 0.5, 0.25, 0.125}
 	sweep := batch.SweepSpec{
-		Graphs:    []string{fmt.Sprintf("rreg:%d:4", n), fmt.Sprintf("complete:%d", n)},
-		Processes: []string{"cobra", "bips"},
-		Branches:  []int{1},
-		Rhos:      rhos,
-		Trials:    trials,
-		Seed:      p.Seed,
-		Workers:   p.Workers,
+		Graphs:      []string{fmt.Sprintf("rreg:%d:4", n), fmt.Sprintf("complete:%d", n)},
+		Processes:   []string{"cobra", "bips"},
+		Branches:    []int{1},
+		Rhos:        rhos,
+		Trials:      trials,
+		Seed:        p.Seed,
+		Workers:     sweepTrialWorkers(p),
+		CellWorkers: runtime.GOMAXPROCS(0),
 	}
 	sw, err := batch.CompileSweep(sweep, nil)
 	if err != nil {

@@ -49,6 +49,18 @@ func (p Params) runner() sim.Runner {
 	return sim.Runner{Seed: p.Seed, Workers: p.Workers}
 }
 
+// sweepTrialWorkers is the trial-level parallelism for sweep-backed
+// experiments (E6, E16): those already fan cells out to GOMAXPROCS, so
+// trials within a cell stay serial unless the caller explicitly asked
+// for trial workers — CellWorkers x GOMAXPROCS CPU-bound goroutines
+// would oversubscribe every core for zero result difference.
+func sweepTrialWorkers(p Params) int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return 1
+}
+
 // pick returns q at Quick scale and f at Full scale.
 func pick[T any](p Params, q, f T) T {
 	if p.Scale == Full {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 
 	"github.com/repro/cobra/internal/batch"
@@ -59,9 +60,10 @@ func E15ScaleFree(p Params) (*sim.Table, error) {
 // stands in for r).
 //
 // The β axis is one batch.Sweep submission (one ws graphspec per β):
-// each graph compiles once into the sweep's cache, trials share pooled
-// workspaces, and the same compiled graph then feeds the spectral gap
-// column.
+// each graph compiles once into the sweep's cache — at cell admission,
+// in cell order — trials share pooled workspaces, cells execute in
+// parallel (CellWorkers = GOMAXPROCS) behind the reorder buffer, and the
+// same compiled graph then feeds the spectral gap column.
 func E16SmallWorld(p Params) (*sim.Table, error) {
 	n := pick(p, 256, 2048)
 	k := pick(p, 6, 8)
@@ -76,12 +78,13 @@ func E16SmallWorld(p Params) (*sim.Table, error) {
 		specs[i] = fmt.Sprintf("ws:%d:%d:%s", n, k, strconv.FormatFloat(beta, 'g', -1, 64))
 	}
 	sweep := batch.SweepSpec{
-		Graphs:    specs,
-		Processes: []string{"cobra"},
-		Branches:  []int{2},
-		Trials:    trials,
-		Seed:      p.Seed,
-		Workers:   p.Workers,
+		Graphs:      specs,
+		Processes:   []string{"cobra"},
+		Branches:    []int{2},
+		Trials:      trials,
+		Seed:        p.Seed,
+		Workers:     sweepTrialWorkers(p),
+		CellWorkers: runtime.GOMAXPROCS(0),
 	}
 	sw, err := batch.CompileSweep(sweep, nil)
 	if err != nil {
