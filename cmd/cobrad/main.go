@@ -2,7 +2,7 @@
 // HTTP/JSON front end over the internal/batch subsystem. Submit a
 // campaign, poll its status, stream its per-trial results:
 //
-//	cobrad -addr :8080 &
+//	cobrad -addr :8080 -data /var/lib/cobrad &
 //	curl -X POST localhost:8080/v1/campaigns -d \
 //	  '{"graph":"ba:200000:3","process":"cobra","branch":2,"trials":1000,"seed":1}'
 //	curl localhost:8080/v1/campaigns/c000001
@@ -22,6 +22,31 @@
 //	curl localhost:8080/v1/sweeps/s000001           # per-cell aggregates + phases
 //	curl localhost:8080/v1/sweeps/s000001/results   # NDJSON in (cell, trial) order
 //	curl localhost:8080/v1/sweeps/s000001/table     # cross-cell summary grid
+//
+// With -data, jobs are durable: every accepted submission is journaled
+// (spec header fsynced before the 202, results appended as trials
+// commit, a terminal record sealing finished jobs), and on startup the
+// journals are replayed — finished jobs come back with their results
+// served from disk, interrupted or queued jobs are requeued and re-run.
+// Because campaigns are deterministic in (graph, process config, seed,
+// trial), the re-run reproduces the lost run byte for byte: kill -TERM a
+// cobrad mid-campaign, restart it on the same -data directory, and the
+// recovered NDJSON is identical to what an uninterrupted run would have
+// produced (CI's restart-recovery smoke asserts exactly this). -retain
+// and -retain-ttl bound how many finished jobs keep per-trial results in
+// RAM; evicted jobs serve their results from the journal byte-for-byte.
+//
+// The queue is priority-ordered: specs (or ?priority=/?deadline= query
+// parameters on submission) may carry a priority — higher runs first,
+// ties in submission order — and an RFC3339 deadline by which the job
+// must have started; jobs still queued past their deadline fail with
+// the distinct terminal state "expired". Sweep cells inherit their
+// sweep's priority.
+//
+// On shutdown no job is left non-terminal: running jobs abort, queued
+// jobs are drained and marked failed (requeued on the next start when
+// -data is set), and truncated results streams carry the
+// X-Cobrad-Stream: aborted trailer (complete streams say "complete").
 //
 // Campaigns are deterministic in (graph, process config, seed, trial),
 // and every sweep cell is byte-identical to the same spec submitted as a
@@ -44,6 +69,7 @@ import (
 	"time"
 
 	"github.com/repro/cobra/internal/batch"
+	"github.com/repro/cobra/internal/store"
 )
 
 func main() {
@@ -54,16 +80,34 @@ func main() {
 		queue       = flag.Int("queue", 64, "queued-campaign backlog before 503s")
 		cacheSize   = flag.Int("cache", 32, "compiled-graph LRU cache capacity")
 		maxTrials   = flag.Int("max-trials", 1_000_000, "per-campaign trial cap (results are retained in memory)")
+		dataDir     = flag.String("data", "", "durable job store directory; journals are replayed on startup and interrupted jobs re-run (empty: in-memory only, a restart drops all jobs)")
+		retain      = flag.Int("retain", 256, "with -data: finished jobs keeping per-trial results in RAM; older jobs serve results from their journals (negative: unlimited)")
+		retainTTL   = flag.Duration("retain-ttl", 0, "with -data: additionally evict a finished job's in-RAM results after this long (0: no TTL)")
 	)
 	flag.Parse()
 
-	svc := batch.NewServer(batch.ServerConfig{
+	var st batch.Store
+	if *dataDir != "" {
+		ds, err := store.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cobrad:", err)
+			os.Exit(1)
+		}
+		st = ds
+	}
+	svc, err := batch.NewServerWith(batch.ServerConfig{
 		CampaignWorkers: *campaigns,
 		CellWorkers:     *cellWorkers,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		MaxTrials:       *maxTrials,
-	})
+		RetainResults:   *retain,
+		RetainTTL:       *retainTTL,
+	}, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cobrad: recover job store:", err)
+		os.Exit(1)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,
@@ -75,18 +119,27 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
+	if *dataDir != "" {
+		log.Printf("cobrad: job store at %s (retain %d, ttl %s)", *dataDir, *retain, *retainTTL)
+	}
 	log.Printf("cobrad: listening on %s (campaign workers %d, cell workers %d, queue %d, graph cache %d)",
 		*addr, *campaigns, *cellWorkers, *queue, *cacheSize)
 
 	select {
 	case <-ctx.Done():
 		log.Printf("cobrad: shutting down")
+		// Close the service before draining HTTP: Shutdown waits for
+		// in-flight handlers, and a client following a running job's
+		// results only unblocks when the service aborts its jobs and
+		// streams — the other order would burn the whole Shutdown timeout
+		// whenever a follower is attached. Submissions racing this get a
+		// 503.
+		svc.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
 			log.Printf("cobrad: shutdown: %v", err)
 		}
-		svc.Close()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			svc.Close()

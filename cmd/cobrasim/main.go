@@ -18,12 +18,22 @@
 //	cobrasim -sweep -graphs ws:2048:8:0,ws:2048:8:0.1 -branches 2,3 -trials 50
 //	cobrasim -sweep -graphs rreg:1024:3 -processes cobra,bips -format csv
 //	cobrasim -sweep -graphs ba:4096:3,ba:8192:3 -cell-workers 4 -trials 100
+//
+// -format ndjson (cobra/bips and sweeps) writes per-trial records in the
+// cobrad wire format — byte-identical to the server's results stream and
+// its on-disk journals for the same spec, so a local run can be diffed
+// against a cobrad recovery:
+//
+//	cobrasim -graph rreg:1024:3 -trials 64 -seed 1 -format ndjson \
+//	  | diff - <(curl -s cobrad:8080/v1/campaigns/c000001/results)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -55,7 +65,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		trace     = flag.Bool("trace", false, "plot one run's per-round set sizes (cobra/bips only)")
 		csvPath   = flag.String("csv", "", "with -trace: also write the per-round series to this CSV file")
-		format    = flag.String("format", "table", "output format: table (human summary) | csv (per-trial rows + summary to stderr)")
+		format    = flag.String("format", "table", "output format: table (human summary) | csv (per-trial rows + summary to stderr) | ndjson (cobra/bips only: per-trial records byte-identical to cobrad's results stream and journals, summary to stderr)")
 		sweep     = flag.Bool("sweep", false, "sweep mode: run the graphs x processes x branches x rhos grid")
 		graphs    = flag.String("graphs", "", "with -sweep: comma-separated graph specs (default: the -graph value)")
 		processes = flag.String("processes", "", "with -sweep: comma-separated processes from cobra,bips (default: the -process value)")
@@ -64,10 +74,10 @@ func main() {
 		cellWs    = flag.Int("cell-workers", 1, "with -sweep: concurrent cells (1 = sequential; never affects results)")
 	)
 	flag.Parse()
-	if *format != "table" && *format != "csv" {
-		fatal(fmt.Errorf("unknown -format %q (table | csv)", *format))
+	if *format != "table" && *format != "csv" && *format != "ndjson" {
+		fatal(fmt.Errorf("unknown -format %q (table | csv | ndjson)", *format))
 	}
-	if *trace && *format == "csv" {
+	if *trace && *format != "table" {
 		fatal(fmt.Errorf("-trace renders a chart, not trial rows; use its -csv flag for the per-round series"))
 	}
 	if *sweep {
@@ -83,6 +93,23 @@ func main() {
 			fatal(err)
 		}
 		if err := runSweep(spec, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// ndjson mode emits exactly the per-trial records cobrad streams and
+	// journals for the same spec — same derivation, same encoder — so a
+	// local run can be diffed byte-for-byte against a server's results or
+	// a recovered journal. Only the batch processes have that wire form.
+	if *format == "ndjson" {
+		if *process != "cobra" && *process != "bips" {
+			fatal(fmt.Errorf("-format ndjson supports cobra and bips, not %q", *process))
+		}
+		if err := runNDJSON(batch.Spec{
+			Graph: *graphFlag, Process: *process, Branch: *branch, Rho: *rho,
+			Lazy: *lazy, Start: *start, Trials: *trials, Seed: *seed, Workers: *workers,
+		}, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -169,6 +196,33 @@ func main() {
 	fmt.Fprintf(info, "  median %.1f  q25 %.1f  q75 %.1f\n", s.Median, s.Q25, s.Q75)
 	fmt.Fprintf(info, "  min    %.0f  max %.0f  std %.2f\n", s.Min, s.Max, s.Std)
 	fmt.Fprintf(info, "  lower bound max{log2 n, Diam} = %d\n", g.CoverTimeLowerBound())
+}
+
+// runNDJSON runs one campaign through the batch subsystem, writing each
+// TrialResult as one NDJSON line on w (the cobrad wire and journal
+// format) and the summary to stderr.
+func runNDJSON(spec batch.Spec, w io.Writer) error {
+	c, err := batch.Compile(spec, nil)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	var encErr error
+	agg, err := c.Run(context.Background(), func(r batch.TrialResult) {
+		if encErr == nil {
+			encErr = enc.Encode(r)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if encErr != nil {
+		return encErr
+	}
+	s := agg.Rounds
+	fmt.Fprintf(os.Stderr, "%s rounds over %d trials: mean %.2f (95%% CI %.2f..%.2f) median %.1f\n",
+		spec.Process, agg.Completed, s.Mean, s.CI95Lo, s.CI95Hi, s.Median)
+	return nil
 }
 
 // runTrace runs a single traced COBRA or BIPS run and renders the
@@ -299,8 +353,10 @@ func splitAxis(name, list, fallback string) ([]string, error) {
 // summary grid: an aligned table (human) or CSV rows on stdout with the
 // run commentary on stderr.
 func runSweep(spec batch.SweepSpec, format string) error {
+	// Machine-readable modes keep stdout for the data; commentary and, in
+	// ndjson mode, the summary grid go to stderr.
 	info := os.Stdout
-	if format == "csv" {
+	if format != "table" {
 		info = os.Stderr
 	}
 	sw, err := batch.CompileSweep(spec, nil)
@@ -314,9 +370,24 @@ func runSweep(spec batch.SweepSpec, format string) error {
 	fmt.Fprintf(info, "sweep: %d cells (%d graphs x %d processes x %d branches x %d rhos), %d trials each, %d cell workers\n",
 		spec.CellCount(), len(spec.Graphs), len(spec.Processes), len(spec.Branches),
 		spec.CellCount()/(len(spec.Graphs)*len(spec.Processes)*len(spec.Branches)), spec.Trials, cellWorkers)
-	cells, err := sw.Run(context.Background(), nil)
+	// ndjson mode streams each CellResult in (cell, trial) order — the
+	// bytes cobrad's sweep results endpoint and journals carry.
+	var onResult func(batch.CellResult)
+	var encErr error
+	if format == "ndjson" {
+		enc := json.NewEncoder(os.Stdout)
+		onResult = func(r batch.CellResult) {
+			if encErr == nil {
+				encErr = enc.Encode(r)
+			}
+		}
+	}
+	cells, err := sw.Run(context.Background(), onResult)
 	if err != nil {
 		return err
+	}
+	if encErr != nil {
+		return encErr
 	}
 	// Graphs compile lazily at cell admission, so the counters are only
 	// meaningful after the run: builds must equal the distinct graph count.
@@ -334,7 +405,7 @@ func runSweep(spec batch.SweepSpec, format string) error {
 	if format == "csv" {
 		return tb.WriteCSV(os.Stdout)
 	}
-	tb.Render(os.Stdout)
+	tb.Render(info)
 	return nil
 }
 

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/repro/cobra/internal/batch"
 )
 
 func defaults() sweepDefaults {
@@ -84,6 +89,34 @@ func TestSweepSpecRejectsBadAxes(t *testing.T) {
 		if !strings.Contains(err.Error(), c.wantErr) {
 			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
 		}
+	}
+}
+
+// -format ndjson must emit exactly the bytes cobrad streams and journals
+// for the same spec: one json.Marshal'd TrialResult per line, in trial
+// order.
+func TestRunNDJSONMatchesWireFormat(t *testing.T) {
+	spec := batch.Spec{Graph: "rreg:256:3", Process: "cobra", Branch: 2, Trials: 8, Seed: 5}
+	var got bytes.Buffer
+	if err := runNDJSON(spec, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := batch.Compile(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	if _, err := c.Run(context.Background(), func(r batch.TrialResult) {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("ndjson output diverged from the wire format:\n%s\nvs\n%s", got.String(), want.String())
 	}
 }
 

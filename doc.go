@@ -119,6 +119,25 @@
 // drives its E6 rho sweep and E16 Watts–Strogatz beta sweep through the
 // same API, cells in parallel.
 //
+// # Durable jobs, priorities, deadlines
+//
+// cobrad run with -data journals every accepted job to an append-only
+// NDJSON store (internal/store): the spec header is fsynced before the
+// submission is acknowledged, result records are appended as trials
+// commit, and a terminal record seals finished jobs. A restart replays
+// the journals — finished jobs are restored with results served from
+// disk, interrupted or queued jobs are requeued — and because a campaign
+// is a pure function of (spec, seed, trial), the re-run reproduces the
+// lost run byte for byte. The job queue orders by per-job priority
+// (higher first, FIFO within a band; sweep cells inherit their sweep's
+// priority), and a job whose RFC3339 deadline passes while it is still
+// queued fails with the distinct terminal state "expired" instead of
+// running. Shutdown leaves no job non-terminal: running jobs abort,
+// queued jobs drain to a failed state, and results streams truncated by
+// shutdown are flagged by the X-Cobrad-Stream trailer ("aborted" vs
+// "complete"). Finished jobs' in-RAM result slices are bounded
+// (-retain/-retain-ttl); evicted jobs serve results from their journals.
+//
 // # Quick start
 //
 //	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7

@@ -39,6 +39,23 @@
 // submitting its Spec as a standalone campaign, for every cell-worker
 // count; see sweep.go and cellsched.go for the full admission-order and
 // reorder-buffer contract.
+//
+// # Durability and the shutdown contract
+//
+// The cobrad service (service.go) optionally persists jobs through a
+// Store (persist.go, backed by internal/store): accepted submissions are
+// journaled before the 202, results are appended as they commit, and a
+// terminal record seals finished jobs. Recovery restores finished jobs
+// (results served from the journal — the same bytes the live stream
+// wrote) and requeues interrupted ones; the campaign determinism
+// invariant makes the re-run byte-identical to the lost run. The queue
+// is a priority heap (Spec.Priority, FIFO per band) and Spec.Deadline
+// expires jobs that never started in time (terminal state "expired").
+// Close leaves no job in a non-terminal state — running jobs abort,
+// queued jobs are drained and failed — and a results stream truncated by
+// shutdown is distinguishable from a complete one by the X-Cobrad-Stream
+// trailer. service_shutdown_test.go and service_persist_test.go enforce
+// every clause under the race detector.
 package batch
 
 import (
@@ -47,6 +64,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graph"
@@ -85,6 +103,32 @@ type Spec struct {
 	// MaxRounds caps a single trial; 0 means the library default of
 	// 64·n·log2(n)+64 rounds (matching core.Config / bips.Config).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Priority orders the cobrad job queue: higher-priority jobs start
+	// first; ties run in submission order. Like Workers it never affects
+	// results — only when the job runs. The library Run path ignores it.
+	Priority int `json:"priority,omitempty"`
+	// Deadline, when non-empty, is an RFC3339 timestamp by which the job
+	// must have *started*: a job still queued past its deadline is failed
+	// with the distinct terminal state "expired" instead of running. A
+	// running job is never killed by its deadline. The library Run path
+	// ignores it.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// DeadlineTime parses the spec deadline; the zero time means none.
+func (s Spec) DeadlineTime() (time.Time, error) {
+	return parseDeadline(s.Deadline)
+}
+
+func parseDeadline(deadline string) (time.Time, error) {
+	if deadline == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, deadline)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: deadline must be RFC3339 (like 2026-01-02T15:04:05Z), got %q", ErrInput, deadline)
+	}
+	return t, nil
 }
 
 // Validate checks everything that can be checked without building the
@@ -112,6 +156,9 @@ func (s Spec) Validate() error {
 	}
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("%w: max_rounds must be >= 0, got %d", ErrInput, s.MaxRounds)
+	}
+	if _, err := s.DeadlineTime(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,395 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/repro/cobra/internal/stats"
+	"github.com/repro/cobra/internal/store"
+)
+
+// Durability layer of the cobrad service. A Server built with
+// NewServerWith journals every accepted job to a Store: the header
+// (kind + spec) is durable before the submission is acknowledged, result
+// records are appended as trials commit (the same bytes the results
+// endpoint streams), and a terminal record seals the journal when the
+// job finishes. On startup the server replays the store: finished jobs
+// are restored with their aggregates in RAM and their results served
+// from disk; interrupted or still-queued jobs are reset to their header
+// and requeued — by the campaign determinism contract the re-run is
+// byte-identical to the run the crash destroyed, so recovery is exact.
+
+// Store is the pluggable durability layer behind a persistent Server,
+// implemented by *store.Store. nil means in-memory only (jobs do not
+// survive a restart, and finished results are never evicted from RAM).
+type Store interface {
+	Create(h store.Header) (*store.Journal, error)
+	Reset(id string) (*store.Journal, error)
+	Remove(id string) error
+	Results(id string) (*store.Results, error)
+	Recover() ([]store.Recovered, error)
+}
+
+// campaignCommitEvery is the campaign journal's commit boundary: results
+// are fsynced every this many records (sweeps additionally commit at
+// every cell boundary). Recovery never depends on mid-run commits — an
+// unterminated journal is re-run from its spec — so the boundary only
+// bounds how much a results reader of a *finished* journal could have
+// lost to an ill-timed crash, not correctness.
+const campaignCommitEvery = 256
+
+// journalSink serializes one job's results into its journal. It is used
+// only from the single goroutine running the job (plus Close on the
+// submit path for drained jobs), so it needs no locking. Errors are
+// sticky and silent: a broken journal stops persisting but never fails
+// the in-RAM job; the unterminated journal simply means the job is re-run
+// on the next recovery.
+type journalSink struct {
+	j           *store.Journal
+	uncommitted int
+	broken      bool
+}
+
+func newJournalSink(j *store.Journal) *journalSink {
+	return &journalSink{j: j}
+}
+
+// record appends one result record (json.Marshal of v — byte-identical
+// to the json.Encoder lines the results endpoint streams).
+func (js *journalSink) record(v any) {
+	if js == nil || js.broken {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		js.broken = true
+		return
+	}
+	if js.j.Append(line) != nil {
+		js.broken = true
+		return
+	}
+	js.uncommitted++
+	if js.uncommitted >= campaignCommitEvery {
+		js.commitNow()
+	}
+}
+
+// boundary marks an explicit commit boundary (sweeps call it when the
+// committed cell changes).
+func (js *journalSink) boundary() {
+	if js == nil || js.broken || js.uncommitted == 0 {
+		return
+	}
+	js.commitNow()
+}
+
+func (js *journalSink) commitNow() {
+	if js.j.Commit() != nil {
+		js.broken = true
+	}
+	js.uncommitted = 0
+}
+
+// finish seals the journal with the job's terminal record, reporting
+// whether the journal is durably terminal (the job's results may then be
+// evicted from RAM and served from disk).
+func (js *journalSink) finish(state JobState, completed int, finished time.Time, final any, errMsg string) bool {
+	if js == nil {
+		return false
+	}
+	if js.broken {
+		js.j.Close()
+		return false
+	}
+	var raw json.RawMessage
+	if final != nil {
+		var err error
+		if raw, err = json.Marshal(final); err != nil {
+			js.broken = true
+			js.j.Close()
+			return false
+		}
+	}
+	err := js.j.Finish(store.Terminal{
+		State:     string(state),
+		Completed: completed,
+		Finished:  finished,
+		Final:     raw,
+		Error:     errMsg,
+	})
+	if err != nil {
+		js.broken = true
+		js.j.Close() // a failed Finish must still release the descriptor
+		return false
+	}
+	return true
+}
+
+// interrupt flushes and closes the journal without a terminal record:
+// the shutdown path for queued and aborted-mid-run jobs, which recovery
+// requeues for a byte-identical re-run.
+func (js *journalSink) interrupt() {
+	if js == nil {
+		return
+	}
+	js.j.Close()
+}
+
+// createJournal opens a journal for a freshly accepted job.
+func (s *Server) createJournal(kind store.Kind, id string, spec any, created time.Time) (*journalSink, error) {
+	if s.store == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.store.Create(store.Header{Kind: kind, ID: id, Created: created, Spec: raw})
+	if err != nil {
+		return nil, err
+	}
+	return newJournalSink(j), nil
+}
+
+// recoverJobs replays every journal in the store into the server's job
+// tables. It runs from NewServerWith before the campaign workers start
+// and before the handler is reachable, so no locks are needed. Journals
+// arrive in id order (ids are zero-padded), which reproduces the
+// original submission order in listings and gives requeued equal-priority
+// jobs their original FIFO order.
+func (s *Server) recoverJobs() error {
+	recs, err := s.store.Recover()
+	if err != nil {
+		return err
+	}
+	// Campaign and sweep ids share one counter, so numeric id order is the
+	// true cross-kind submission order — directory order is not (every c*
+	// file sorts before any s* file). Requeued equal-priority jobs get
+	// their original FIFO sequence from this.
+	sort.Slice(recs, func(i, j int) bool {
+		return idNumber(recs[i].Header.ID) < idNumber(recs[j].Header.ID)
+	})
+	maxID := 0
+	for _, rec := range recs {
+		// Even an unusable journal's id must advance the id counter, or a
+		// fresh submission could collide with the file on disk.
+		if n := idNumber(rec.Header.ID); n > maxID {
+			maxID = n
+		}
+		if rec.Err != nil {
+			continue // unusable journal: skip it rather than refuse to start
+		}
+		switch rec.Header.Kind {
+		case store.KindCampaign:
+			err = s.recoverCampaign(rec)
+		case store.KindSweep:
+			err = s.recoverSweep(rec)
+		default:
+			continue
+		}
+		if err != nil {
+			// One undecodable spec or terminal record must not take the
+			// whole store down with it: skip the journal, keep serving the
+			// healthy jobs (same policy as rec.Err above).
+			continue
+		}
+	}
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	return nil
+}
+
+// idNumber extracts the numeric part of a job id ("c000042" → 42);
+// 0 for anything unparsable.
+func idNumber(id string) int {
+	if len(id) < 2 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (s *Server) recoverCampaign(rec store.Recovered) error {
+	var spec Spec
+	if err := json.Unmarshal(rec.Header.Spec, &spec); err != nil {
+		return fmt.Errorf("%w: journal %s: bad campaign spec: %v", ErrInput, rec.Header.ID, err)
+	}
+	job, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
+	if err != nil {
+		return err
+	}
+	job.spec = spec
+	if rec.Terminal != nil {
+		if err := applyTerminal(job, rec.Terminal); err != nil {
+			return err
+		}
+		if len(rec.Terminal.Final) > 0 {
+			var agg Aggregate
+			if err := json.Unmarshal(rec.Terminal.Final, &agg); err == nil {
+				job.final = &agg
+			}
+		}
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	if rec.Terminal == nil {
+		s.queue.push(job, true)
+	}
+	return nil
+}
+
+func (s *Server) recoverSweep(rec store.Recovered) error {
+	var spec SweepSpec
+	if err := json.Unmarshal(rec.Header.Spec, &spec); err != nil {
+		return fmt.Errorf("%w: journal %s: bad sweep spec: %v", ErrInput, rec.Header.ID, err)
+	}
+	job, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
+	if err != nil {
+		return err
+	}
+	job.sweep = &spec
+	job.cellSpecs = spec.Cells()
+	job.cellOnline = make([]*stats.Online, len(job.cellSpecs))
+	job.cellPhases = make([]CellPhase, len(job.cellSpecs))
+	for i := range job.cellOnline {
+		job.cellOnline[i] = stats.NewOnline()
+		job.cellPhases[i] = CellQueued
+	}
+	if rec.Terminal != nil {
+		if err := applyTerminal(job, rec.Terminal); err != nil {
+			return err
+		}
+		if job.state == StateDone && len(rec.Terminal.Final) > 0 {
+			var cells []CellSummary
+			if err := json.Unmarshal(rec.Terminal.Final, &cells); err == nil {
+				job.cellFinal = cells
+			}
+		} else {
+			// A restored failed/expired sweep never committed its tail; no
+			// per-cell phase survives the restart, so mark every cell as one
+			// that will never commit.
+			for i := range job.cellPhases {
+				job.cellPhases[i] = CellFailed
+			}
+		}
+	}
+	s.sweeps[job.id] = job
+	s.sweepOrder = append(s.sweepOrder, job.id)
+	if rec.Terminal == nil {
+		s.queue.push(job, true)
+	}
+	return nil
+}
+
+// recoveredJob builds the common Job shell for a recovered journal; for
+// unterminated journals it also resets the journal for the re-run.
+func (s *Server) recoveredJob(rec store.Recovered, priority int, deadline string) (*Job, error) {
+	dl, err := parseDeadline(deadline)
+	if err != nil {
+		return nil, fmt.Errorf("%w: journal %s: %v", ErrInput, rec.Header.ID, err)
+	}
+	s.seq++
+	job := &Job{
+		id:       rec.Header.ID,
+		state:    StateQueued,
+		online:   stats.NewOnline(),
+		notify:   make(chan struct{}),
+		created:  rec.Header.Created,
+		priority: priority,
+		deadline: dl,
+		seq:      s.seq,
+	}
+	if rec.Terminal == nil {
+		j, err := s.store.Reset(job.id)
+		if err != nil {
+			return nil, err
+		}
+		job.sink = newJournalSink(j)
+	}
+	return job, nil
+}
+
+// applyTerminal restores a job's terminal state from its journal. The
+// job's results stay on disk: evicted is set from the start, so the
+// results endpoint streams the journal's result section verbatim.
+func applyTerminal(job *Job, t *store.Terminal) error {
+	st := JobState(t.State)
+	if !st.Terminal() {
+		return fmt.Errorf("%w: journal %s: bad terminal state %q", ErrInput, job.id, t.State)
+	}
+	job.state = st
+	job.completed = t.Completed
+	job.errMsg = t.Error
+	job.finished = t.Finished
+	job.evicted = true
+	job.persisted = true
+	return nil
+}
+
+// finishJob records a terminal transition for the retention policy and
+// applies it: beyond RetainResults finished jobs (or past RetainTTL),
+// the oldest finished jobs' result slices are dropped from RAM — their
+// status and aggregates stay, and their results are served from the
+// journal. Only durably persisted jobs are evicted, and never while a
+// results stream is following them; without a Store nothing is ever
+// evicted.
+func (s *Server) finishJob(job *Job) {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.mu.Lock()
+	persisted := job.persisted
+	job.mu.Unlock()
+	if persisted {
+		s.finishedJobs = append(s.finishedJobs, job)
+	}
+	s.evictLocked(time.Now())
+}
+
+// evictLocked enforces the retention bounds. Callers hold s.mu.
+func (s *Server) evictLocked(now time.Time) {
+	keep := s.cfg.RetainResults
+	if keep < 0 {
+		keep = len(s.finishedJobs) // count bound disabled; TTL may still evict
+	}
+	kept := s.finishedJobs[:0]
+	for i, job := range s.finishedJobs {
+		overCount := len(s.finishedJobs)-i > keep
+		expired := s.cfg.RetainTTL > 0 && now.Sub(job.finishedAt()) > s.cfg.RetainTTL
+		if (overCount || expired) && tryEvict(job) {
+			continue
+		}
+		kept = append(kept, job)
+	}
+	s.finishedJobs = kept
+}
+
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// tryEvict drops a finished job's per-trial result slices from RAM,
+// reporting false while a live results stream still reads them.
+func tryEvict(job *Job) bool {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if !job.persisted || job.streams > 0 {
+		return false
+	}
+	job.results = nil
+	job.cellResults = nil
+	job.evicted = true
+	return true
+}

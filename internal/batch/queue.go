@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is the bounded priority queue feeding the campaign workers:
+// highest Spec priority first, submission order within a priority band
+// (so priority-0 jobs preserve the old FIFO behavior exactly). Closing
+// the queue wakes every blocked pop with nil — a closing server never
+// starts queued work; Close drains what remains and marks it aborted,
+// so no job is left in a non-terminal state.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  jobHeap
+	depth  int
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	q := &jobQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j, reporting false when the queue is full or closed.
+// force bypasses the depth bound: recovery requeues accepted-and-durable
+// jobs, which must never be rejected for backlog reasons.
+func (q *jobQueue) push(j *Job, force bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || (!force && q.items.Len() >= q.depth) {
+		return false
+	}
+	heap.Push(&q.items, j)
+	q.cond.Signal()
+	return true
+}
+
+// full reports whether a plain push would be rejected right now — a
+// cheap precheck so overloaded submissions can 503 before paying for a
+// journal header write; push remains the authoritative gate.
+func (q *jobQueue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed || q.items.Len() >= q.depth
+}
+
+// pop blocks until a job is available, returning the highest-priority
+// one; nil means the queue closed (even if jobs remain — they are handed
+// out by drain, not pop).
+func (q *jobQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil
+	}
+	return heap.Pop(&q.items).(*Job)
+}
+
+// close marks the queue closed and wakes every blocked pop. Idempotent.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain removes and returns every queued job in pop (priority) order;
+// the shutdown path marks them aborted so watchers observe a terminal
+// state.
+func (q *jobQueue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, q.items.Len())
+	for q.items.Len() > 0 {
+		out = append(out, heap.Pop(&q.items).(*Job))
+	}
+	return out
+}
+
+// jobHeap orders jobs by (priority desc, seq asc): seq is the global
+// submission sequence, so equal priorities run first-come-first-served.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -5,28 +5,35 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/repro/cobra/internal/stats"
+	"github.com/repro/cobra/internal/store"
 )
 
 // The cobrad job service: an http.Handler exposing campaigns and
-// parameter sweeps as asynchronous jobs over HTTP/JSON, backed by an
-// in-process queue with a bounded campaign-worker pool and the shared LRU
-// graph cache. cmd/cobrad wraps it in a process; tests drive it through
-// httptest.
+// parameter sweeps as asynchronous jobs over HTTP/JSON, backed by a
+// bounded priority queue with a campaign-worker pool, the shared LRU
+// graph cache, and (optionally) a durable job store. cmd/cobrad wraps it
+// in a process; tests drive it through httptest.
 //
 // Endpoints:
 //
-//	POST /v1/campaigns            submit a Spec; 202 + {id, ...} or 400/503
+//	POST /v1/campaigns            submit a Spec; 202 + {id, ...} or 400/503.
+//	                              ?priority=N and ?deadline=RFC3339
+//	                              override the spec's queue fields
 //	GET  /v1/campaigns            list job summaries
 //	GET  /v1/campaigns/{id}       status + online aggregates
 //	GET  /v1/campaigns/{id}/results  per-trial results as NDJSON, streamed
 //	                              live (the response follows a running
-//	                              campaign until it finishes)
-//	POST /v1/sweeps               submit a SweepSpec; 202 + {id, ...}
+//	                              campaign until it finishes); the
+//	                              X-Cobrad-Stream trailer says whether the
+//	                              stream is complete or was aborted
+//	POST /v1/sweeps               submit a SweepSpec; 202 + {id, ...};
+//	                              same ?priority=/?deadline= parameters
 //	GET  /v1/sweeps               list sweep summaries
 //	GET  /v1/sweeps/{id}          status + per-cell online aggregates and
 //	                              scheduler phases (queued/running/done/failed)
@@ -44,6 +51,22 @@ import (
 // CellWorkers) behind a reorder buffer that keeps delivery in (cell,
 // trial) order. Campaign and sweep jobs share one graph cache, so a
 // sweep cell re-using an earlier campaign's graph is a cache hit.
+//
+// Queueing: jobs wait in a bounded priority queue — higher Spec.Priority
+// first, submission order within a band — and a job whose Deadline
+// passes while it is still queued is failed with the distinct terminal
+// state "expired" instead of running. Neither field affects results,
+// only when (or whether) a job runs.
+//
+// Durability: a Server built with NewServerWith journals every accepted
+// job to a Store (see internal/store and persist.go). On startup the
+// journals are replayed: finished jobs are restored with results served
+// from disk, and interrupted or queued jobs are requeued for a re-run
+// that the campaign determinism contract makes byte-identical to the run
+// that was lost. The shutdown contract holds with or without a store:
+// Close leaves no job non-terminal (running jobs abort, queued jobs are
+// drained and marked failed), and truncated result streams are flagged
+// by the X-Cobrad-Stream trailer.
 
 // JobState is the lifecycle of a submitted campaign.
 type JobState string
@@ -55,10 +78,22 @@ const (
 	StateRunning JobState = "running"
 	// StateDone means every trial completed.
 	StateDone JobState = "done"
-	// StateFailed means compilation or a trial failed (or the server shut
-	// down mid-run); Error holds the cause.
+	// StateFailed means compilation or a trial failed, or the server shut
+	// down before the job could finish (Close aborts running jobs and
+	// drains queued ones — no job is ever left non-terminal); Error holds
+	// the cause. With a Store attached, shutdown-aborted jobs are requeued
+	// and re-run on the next start.
 	StateFailed JobState = "failed"
+	// StateExpired means the job's deadline passed while it was still
+	// queued; it never ran. A distinct terminal state so clients can tell
+	// "missed its deadline" from "ran and failed".
+	StateExpired JobState = "expired"
 )
+
+// Terminal reports whether the state is final (no further transitions).
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired
+}
 
 // ServerConfig sizes the service.
 type ServerConfig struct {
@@ -77,6 +112,18 @@ type ServerConfig struct {
 	// results are retained in memory for the results endpoint, so this
 	// caps per-job memory (default 1e6; ~56 bytes per trial).
 	MaxTrials int
+	// RetainResults bounds how many finished jobs keep their per-trial
+	// result slices in RAM when a Store is attached: beyond it the oldest
+	// finished jobs' slices are evicted — status and aggregates stay in
+	// RAM, results are served from the journal byte-for-byte. 0 means the
+	// default 256; negative disables the count bound. Without a Store
+	// nothing is evicted (the pre-persistence behavior: unbounded RAM).
+	RetainResults int
+	// RetainTTL additionally evicts a finished job's in-RAM results once
+	// the job has been finished this long (0 = no TTL). Evaluated at
+	// terminal transitions and stream closes, not on a timer. Requires a
+	// Store, like RetainResults.
+	RetainTTL time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -95,6 +142,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxTrials < 1 {
 		c.MaxTrials = 1_000_000
 	}
+	if c.RetainResults == 0 {
+		c.RetainResults = 256
+	}
 	return c
 }
 
@@ -107,9 +157,15 @@ type Job struct {
 	sweep     *SweepSpec
 	cellSpecs []Spec // expanded grid, fixed at submission
 
+	priority int       // queue ordering: higher first, ties by seq
+	deadline time.Time // zero = none; expired-in-queue jobs never run
+	seq      int       // global submission sequence (FIFO tie-break)
+	sink     *journalSink
+
 	mu          sync.Mutex
 	state       JobState
 	results     []TrialResult
+	completed   int             // trials delivered (survives result eviction)
 	online      *stats.Online   // live partial aggregate while running
 	final       *Aggregate      // Run's own aggregate, once done
 	cellResults []CellResult    // sweep results in (cell, trial) order
@@ -120,6 +176,9 @@ type Job struct {
 	notify      chan struct{} // closed and replaced on every state change
 	created     time.Time
 	finished    time.Time
+	persisted   bool // journal sealed with a terminal record
+	evicted     bool // result slices dropped; results served from the journal
+	streams     int  // live results streams reading the in-RAM slices
 }
 
 // jobStatus is the wire form of a job's status.
@@ -139,7 +198,7 @@ func (j *Job) statusLocked() jobStatus {
 		State:     j.state,
 		Spec:      j.spec,
 		Trials:    j.spec.Trials,
-		Completed: len(j.results),
+		Completed: j.completed,
 		Error:     j.errMsg,
 	}
 	if j.final != nil {
@@ -174,7 +233,7 @@ func (j *Job) sweepStatusLocked(withCells bool) sweepStatus {
 		Spec:      *j.sweep,
 		Cells:     len(j.cellSpecs),
 		Trials:    len(j.cellSpecs) * j.sweep.Trials,
-		Completed: len(j.cellResults),
+		Completed: j.completed,
 		Error:     j.errMsg,
 	}
 	if !withCells {
@@ -203,34 +262,55 @@ func (j *Job) bumpLocked() {
 	j.notify = make(chan struct{})
 }
 
-// Server is the cobrad service. Create with NewServer, serve it as an
-// http.Handler, and Close it to stop the campaign workers.
+// Server is the cobrad service. Create with NewServer (in-memory) or
+// NewServerWith (durable), serve it as an http.Handler, and Close it to
+// stop the campaign workers.
 type Server struct {
 	cfg    ServerConfig
 	cache  *Cache
 	mux    *http.ServeMux
-	queue  chan *Job
+	queue  *jobQueue
+	store  Store // nil = in-memory only
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	order      []string // submission order, for the list endpoint
-	sweeps     map[string]*Job
-	sweepOrder []string
-	nextID     int
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // submission order, for the list endpoint
+	sweeps       map[string]*Job
+	sweepOrder   []string
+	nextID       int
+	seq          int    // queue tie-break sequence (includes recovered jobs)
+	finishedJobs []*Job // terminal persisted jobs in finish order (retention)
 }
 
-// NewServer builds the service and starts its campaign workers.
+// NewServer builds an in-memory service and starts its campaign workers.
+// Jobs and results do not survive the process; see NewServerWith.
 func NewServer(cfg ServerConfig) *Server {
+	s, err := NewServerWith(cfg, nil)
+	if err != nil {
+		// Unreachable: only store recovery can fail, and there is no store.
+		panic(err)
+	}
+	return s
+}
+
+// NewServerWith builds the service over a durable job store (nil st
+// behaves exactly like NewServer). Before accepting traffic it replays
+// the store: finished jobs are restored — status and aggregates in RAM,
+// results served from their journals — and interrupted or queued jobs
+// are requeued for a re-run that the campaign determinism contract makes
+// byte-identical to the run a crash or shutdown destroyed.
+func NewServerWith(cfg ServerConfig, st Store) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
 		cache:  NewCache(cfg.CacheSize),
 		mux:    http.NewServeMux(),
-		queue:  make(chan *Job, cfg.QueueDepth),
+		queue:  newJobQueue(cfg.QueueDepth),
+		store:  st,
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[string]*Job),
@@ -243,21 +323,44 @@ func NewServer(cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.store != nil {
+		if err := s.recoverJobs(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.CampaignWorkers; i++ {
 		s.wg.Add(1)
 		go s.campaignWorker()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the campaign workers, aborting running campaigns. Safe to
-// call more than once.
+// Close stops the service: no new jobs start, running campaigns are
+// aborted (StateFailed, cause recorded), and the queue is drained with
+// every still-queued job marked failed — watchers always observe a
+// terminal state; no job is orphaned in StateQueued. With a Store,
+// aborted and drained jobs keep unterminated journals, so the next
+// NewServerWith requeues and re-runs them. Safe to call more than once.
 func (s *Server) Close() {
-	s.cancel()
+	s.queue.close() // stop handing out queued jobs
+	s.cancel()      // abort running jobs
 	s.wg.Wait()
+	for _, job := range s.queue.drain() {
+		job.mu.Lock()
+		job.state = StateFailed
+		job.errMsg = "aborted: server shut down before the job started"
+		job.finished = time.Now()
+		for i := range job.cellPhases {
+			job.cellPhases[i] = CellFailed // drained sweep cells will never commit
+		}
+		job.bumpLocked()
+		job.mu.Unlock()
+		job.sink.interrupt() // no terminal record: recovery requeues it
+	}
 }
 
 // CacheStats exposes graph-cache counters for diagnostics and tests.
@@ -266,13 +369,37 @@ func (s *Server) CacheStats() (hits, misses int64, size int) { return s.cache.St
 func (s *Server) campaignWorker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case job := <-s.queue:
-			s.runJob(job)
+		job := s.queue.pop()
+		if job == nil {
+			return // queue closed
 		}
+		if s.expireJob(job) {
+			continue
+		}
+		s.runJob(job)
 	}
+}
+
+// expireJob fails a job whose deadline passed while it was queued,
+// reporting whether it did. Expiry is checked when a worker picks the
+// job up — a job that starts before its deadline runs to completion.
+func (s *Server) expireJob(job *Job) bool {
+	if job.deadline.IsZero() || time.Now().Before(job.deadline) {
+		return false
+	}
+	now := time.Now()
+	job.mu.Lock()
+	job.state = StateExpired
+	job.errMsg = fmt.Sprintf("deadline %s passed before the job started", job.deadline.Format(time.RFC3339))
+	job.finished = now
+	for i := range job.cellPhases {
+		job.cellPhases[i] = CellFailed // expired sweep cells will never commit
+	}
+	errMsg := job.errMsg
+	job.bumpLocked()
+	job.mu.Unlock()
+	s.sealJob(job, StateExpired, 0, now, nil, errMsg)
+	return true
 }
 
 func (s *Server) runJob(job *Job) {
@@ -281,13 +408,27 @@ func (s *Server) runJob(job *Job) {
 	job.bumpLocked()
 	job.mu.Unlock()
 
+	// fail distinguishes a genuine failure (terminal record sealed in the
+	// journal) from a shutdown abort: the latter leaves the journal
+	// unterminated so the next recovery requeues the job, whose re-run is
+	// byte-identical by the campaign determinism invariant. Journal
+	// sealing fsyncs, so it happens outside job.mu (like record on the
+	// hot path): status and list readers must never stall behind disk.
 	fail := func(err error) {
+		now := time.Now()
+		shutdown := s.ctx.Err() != nil
 		job.mu.Lock()
 		job.state = StateFailed
 		job.errMsg = err.Error()
-		job.finished = time.Now()
+		job.finished = now
+		completed := job.completed
 		job.bumpLocked()
 		job.mu.Unlock()
+		if shutdown {
+			job.sink.interrupt()
+			return
+		}
+		s.sealJob(job, StateFailed, completed, now, nil, err.Error())
 	}
 
 	if job.sweep != nil {
@@ -301,8 +442,10 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	agg, err := campaign.Run(s.ctx, func(r TrialResult) {
+		job.sink.record(r)
 		job.mu.Lock()
 		job.results = append(job.results, r)
+		job.completed++
 		job.online.Add(float64(r.Rounds))
 		job.bumpLocked()
 		job.mu.Unlock()
@@ -311,12 +454,25 @@ func (s *Server) runJob(job *Job) {
 		fail(err)
 		return
 	}
+	now := time.Now()
 	job.mu.Lock()
 	job.final = agg
 	job.state = StateDone
-	job.finished = time.Now()
+	job.finished = now
+	completed := job.completed
 	job.bumpLocked()
 	job.mu.Unlock()
+	s.sealJob(job, StateDone, completed, now, agg, "")
+}
+
+// sealJob writes a job's terminal record (fsync included) outside
+// job.mu, then records the durable verdict and applies retention.
+func (s *Server) sealJob(job *Job, state JobState, completed int, finished time.Time, final any, errMsg string) {
+	persisted := job.sink.finish(state, completed, finished, final, errMsg)
+	job.mu.Lock()
+	job.persisted = persisted
+	job.mu.Unlock()
+	s.finishJob(job)
 }
 
 // runSweepJob executes a sweep job against the server's shared graph
@@ -334,9 +490,18 @@ func (s *Server) runSweepJob(job *Job, fail func(error)) {
 		job.bumpLocked()
 		job.mu.Unlock()
 	}
+	lastCell := -1
 	cells, err := sweep.Run(s.ctx, func(r CellResult) {
+		if r.Cell != lastCell {
+			// A new cell starts committing: fsync the finished one (the
+			// sweep journal's commit boundary).
+			job.sink.boundary()
+			lastCell = r.Cell
+		}
+		job.sink.record(r)
 		job.mu.Lock()
 		job.cellResults = append(job.cellResults, r)
+		job.completed++
 		job.cellOnline[r.Cell].Add(float64(r.Rounds))
 		job.bumpLocked()
 		job.mu.Unlock()
@@ -358,12 +523,15 @@ func (s *Server) runSweepJob(job *Job, fail func(error)) {
 	for i := range cells {
 		cells[i].Phase = CellDone
 	}
+	now := time.Now()
 	job.mu.Lock()
 	job.cellFinal = cells
 	job.state = StateDone
-	job.finished = time.Now()
+	job.finished = now
+	completed := job.completed
 	job.bumpLocked()
 	job.mu.Unlock()
+	s.sealJob(job, StateDone, completed, now, cells, "")
 }
 
 // handleCampaigns serves POST (submit) and GET (list) on /v1/campaigns.
@@ -378,12 +546,34 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// applyQueueParams folds the ?priority= and ?deadline= query parameters
+// over the spec's own fields (the query wins) so clients can set queue
+// placement without editing the spec body. Validation happens after.
+func applyQueueParams(r *http.Request, priority *int, deadline *string) error {
+	q := r.URL.Query()
+	if v := q.Get("priority"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad priority query parameter %q: not an integer", v)
+		}
+		*priority = p
+	}
+	if v := q.Get("deadline"); v != "" {
+		*deadline = v
+	}
+	return nil
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := applyQueueParams(r, &spec.Priority, &spec.Deadline); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := spec.Validate(); err != nil {
@@ -396,26 +586,49 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 				spec.Trials, s.cfg.MaxTrials))
 		return
 	}
+	deadline, _ := spec.DeadlineTime() // validated above
+
+	// Cheap overload shed before any disk work; push re-checks below.
+	if s.queue.full() {
+		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
+		return
+	}
 
 	s.mu.Lock()
 	s.nextID++
+	s.seq++
 	id := fmt.Sprintf("c%06d", s.nextID)
+	seq := s.seq
 	s.mu.Unlock()
 	job := &Job{
-		id:      id,
-		spec:    spec,
-		state:   StateQueued,
-		online:  stats.NewOnline(),
-		notify:  make(chan struct{}),
-		created: time.Now(),
+		id:       id,
+		spec:     spec,
+		state:    StateQueued,
+		online:   stats.NewOnline(),
+		notify:   make(chan struct{}),
+		created:  time.Now(),
+		priority: spec.Priority,
+		deadline: deadline,
+		seq:      seq,
 	}
+
+	// The journal header must be durable before the 202: an acknowledged
+	// job is never forgotten by a crash.
+	sink, err := s.createJournal(store.KindCampaign, id, spec, job.created)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "persist submission: "+err.Error())
+		return
+	}
+	job.sink = sink
 
 	// Reserve the queue slot before publishing the job: a rejected
 	// submission must never be observable (a watcher of a published-then-
 	// rolled-back job would hang on a notify that never comes).
-	select {
-	case s.queue <- job:
-	default:
+	if !s.queue.push(job, false) {
+		if sink != nil {
+			sink.interrupt()
+			_ = s.store.Remove(id)
+		}
 		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
 		return
 	}
@@ -472,10 +685,85 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Results streams end with the HTTP trailer X-Cobrad-Stream so a client
+// can tell a complete stream from one truncated by server shutdown: the
+// NDJSON body itself stays byte-identical to the job's result records
+// (no in-band sentinel), and the trailer carries the verdict.
+const (
+	// StreamTrailer is the trailer header name.
+	StreamTrailer = "X-Cobrad-Stream"
+	// StreamComplete means the stream delivered everything the job
+	// produced: it followed the job to a terminal state (or replayed a
+	// finished journal in full).
+	StreamComplete = "complete"
+	// StreamAborted means the stream was truncated — the server shut down
+	// (or the client went away) before the job reached a terminal state.
+	// Reconnect after the restart: recovery re-runs the job and the
+	// delivered prefix is a byte-prefix of the recovered stream.
+	StreamAborted = "aborted"
+)
+
 // streamResults writes the job's per-trial results as NDJSON in trial
 // order, following a live campaign until it reaches a terminal state.
+// Evicted (or restored-from-disk) jobs stream their journal instead —
+// the same bytes, by the journal format's construction.
 func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, job *Job) {
+	if s.claimStream(w, job) {
+		return // served from the journal
+	}
+	defer s.releaseStream(job)
 	streamNDJSON(s, w, r, job, func() []TrialResult { return job.results })
+}
+
+// claimStream routes the request to the journal when the job's results
+// were evicted from RAM; otherwise it registers a live reader (blocking
+// eviction for the stream's duration) and reports false.
+func (s *Server) claimStream(w http.ResponseWriter, job *Job) bool {
+	job.mu.Lock()
+	if job.evicted {
+		job.mu.Unlock()
+		s.streamStored(w, job)
+		return true
+	}
+	job.streams++
+	job.mu.Unlock()
+	return false
+}
+
+func (s *Server) releaseStream(job *Job) {
+	job.mu.Lock()
+	job.streams--
+	job.mu.Unlock()
+	if s.store != nil {
+		// A deferred eviction may have been waiting on this stream.
+		s.mu.Lock()
+		s.evictLocked(time.Now())
+		s.mu.Unlock()
+	}
+}
+
+// streamStored replays a finished job's journal result section: the
+// lines on disk are byte-identical to the NDJSON the live stream wrote.
+func (s *Server) streamStored(w http.ResponseWriter, job *Job) {
+	it, err := s.store.Results(job.id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "read stored results: "+err.Error())
+		return
+	}
+	defer it.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Trailer", StreamTrailer)
+	for it.Next() {
+		if _, err := w.Write(append(it.Line(), '\n')); err != nil {
+			w.Header().Set(StreamTrailer, StreamAborted)
+			return
+		}
+	}
+	if it.Err() != nil {
+		w.Header().Set(StreamTrailer, StreamAborted)
+		return
+	}
+	w.Header().Set(StreamTrailer, StreamComplete)
 }
 
 // streamNDJSON is the shared live-follow loop behind the campaign and
@@ -483,21 +771,25 @@ func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, job *Job)
 // as one NDJSON line, in order, waking on the job's notify channel until
 // the job reaches a terminal state. snapshot is called with job.mu held
 // and must return the job's full result slice (append-only, so the
-// delivered prefix never changes).
+// delivered prefix never changes). The X-Cobrad-Stream trailer seals the
+// stream: "complete" after following the job to a terminal state,
+// "aborted" when server shutdown (or the client) truncated it.
 func streamNDJSON[T any](s *Server, w http.ResponseWriter, r *http.Request, job *Job, snapshot func() []T) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Trailer", StreamTrailer)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
 		job.mu.Lock()
 		chunk := snapshot()[sent:]
-		terminal := job.state == StateDone || job.state == StateFailed
+		terminal := job.state.Terminal()
 		wake := job.notify
 		job.mu.Unlock()
 
 		for _, res := range chunk {
 			if err := enc.Encode(res); err != nil {
+				w.Header().Set(StreamTrailer, StreamAborted)
 				return
 			}
 		}
@@ -506,13 +798,16 @@ func streamNDJSON[T any](s *Server, w http.ResponseWriter, r *http.Request, job 
 			flusher.Flush()
 		}
 		if terminal {
+			w.Header().Set(StreamTrailer, StreamComplete)
 			return
 		}
 		select {
 		case <-wake:
 		case <-r.Context().Done():
+			w.Header().Set(StreamTrailer, StreamAborted)
 			return
 		case <-s.ctx.Done():
+			w.Header().Set(StreamTrailer, StreamAborted)
 			return
 		}
 	}
@@ -538,6 +833,10 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	if err := applyQueueParams(r, &spec.Priority, &spec.Deadline); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if err := spec.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -558,9 +857,19 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		spec.CellWorkers = s.cfg.CellWorkers
 	}
 
+	deadline, _ := spec.DeadlineTime() // validated above
+
+	// As for campaigns: shed overload before any disk work.
+	if s.queue.full() {
+		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
+		return
+	}
+
 	s.mu.Lock()
 	s.nextID++
+	s.seq++
 	id := fmt.Sprintf("s%06d", s.nextID)
+	seq := s.seq
 	s.mu.Unlock()
 	cellSpecs := spec.Cells()
 	job := &Job{
@@ -568,20 +877,35 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		sweep:      &spec,
 		cellSpecs:  cellSpecs,
 		state:      StateQueued,
+		online:     stats.NewOnline(),
 		cellOnline: make([]*stats.Online, len(cellSpecs)),
 		cellPhases: make([]CellPhase, len(cellSpecs)),
 		notify:     make(chan struct{}),
 		created:    time.Now(),
+		priority:   spec.Priority,
+		deadline:   deadline,
+		seq:        seq,
 	}
 	for i := range job.cellOnline {
 		job.cellOnline[i] = stats.NewOnline()
 		job.cellPhases[i] = CellQueued
 	}
 
+	// The journal header carries the effective spec (cell_workers default
+	// already substituted), so a recovered re-run uses the same plan.
+	sink, err := s.createJournal(store.KindSweep, id, spec, job.created)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "persist submission: "+err.Error())
+		return
+	}
+	job.sink = sink
+
 	// As for campaigns: reserve the queue slot before publishing the job.
-	select {
-	case s.queue <- job:
-	default:
+	if !s.queue.push(job, false) {
+		if sink != nil {
+			sink.interrupt()
+			_ = s.store.Remove(id)
+		}
 		httpError(w, http.StatusServiceUnavailable, "campaign queue full, retry later")
 		return
 	}
@@ -650,6 +974,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // (cell, trial) order, following a live sweep until it reaches a
 // terminal state (the sweep twin of streamResults).
 func (s *Server) streamSweepResults(w http.ResponseWriter, r *http.Request, job *Job) {
+	if s.claimStream(w, job) {
+		return // served from the journal
+	}
+	defer s.releaseStream(job)
 	streamNDJSON(s, w, r, job, func() []CellResult { return job.cellResults })
 }
 

@@ -1,0 +1,275 @@
+package batch
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The shutdown-semantics suite: Close must leave every job in a terminal
+// state (running jobs aborted, queued jobs drained — never orphaned in
+// StateQueued), must not leak goroutines, and must seal truncated result
+// streams with the "aborted" trailer.
+
+// longSpec is a campaign that effectively never finishes on its own —
+// the blocker for shutdown and queue-order tests.
+func longSpec() Spec {
+	s := testSpec()
+	s.Graph = "grid:128:128"
+	s.Trials = 100000
+	return s
+}
+
+func TestJobQueuePriorityOrder(t *testing.T) {
+	q := newJobQueue(3)
+	mk := func(priority, seq int) *Job {
+		return &Job{id: "x", priority: priority, seq: seq, notify: make(chan struct{})}
+	}
+	low, high, mid := mk(0, 1), mk(9, 2), mk(4, 3)
+	for _, j := range []*Job{low, high, mid} {
+		if !q.push(j, false) {
+			t.Fatal("push rejected below depth")
+		}
+	}
+	// Full: plain push rejected, force push (recovery) accepted.
+	if q.push(mk(0, 4), false) {
+		t.Fatal("push accepted past depth")
+	}
+	forced := mk(9, 5)
+	if !q.push(forced, true) {
+		t.Fatal("forced push rejected")
+	}
+	// Pop order: priority desc, submission order within a band.
+	for i, want := range []*Job{high, forced, mid, low} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d: priority %d seq %d", i, got.priority, got.seq)
+		}
+	}
+	rest := mk(1, 6)
+	q.push(rest, false)
+	q.close()
+	if got := q.pop(); got != nil {
+		t.Fatalf("pop after close returned a job (priority %d)", got.priority)
+	}
+	if q.push(mk(0, 7), true) {
+		t.Fatal("push accepted after close")
+	}
+	drained := q.drain()
+	if len(drained) != 1 || drained[0] != rest {
+		t.Fatalf("drain returned %d jobs", len(drained))
+	}
+}
+
+// Close with a full queue: the running job aborts, every queued job is
+// drained to a terminal state (the shutdown-orphan bugfix — previously
+// they hung in StateQueued forever), and status watchers observe it.
+func TestServiceCloseDrainsQueue(t *testing.T) {
+	svc := NewServer(ServerConfig{CampaignWorkers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	blocker := postCampaign(t, ts, longSpec())
+	awaitStateRaw(t, ts, blocker, StateRunning)
+	queued := []string{
+		postCampaign(t, ts, testSpec()),
+		postCampaign(t, ts, testSpec()),
+	}
+	sweepID := postSweep(t, ts, testSweepSpec())
+
+	done := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung")
+	}
+
+	st := awaitStateRaw(t, ts, blocker, StateFailed)
+	if !strings.Contains(st.Error, "context canceled") {
+		t.Fatalf("aborted running job error %q", st.Error)
+	}
+	for _, id := range queued {
+		st := awaitStateRaw(t, ts, id, StateFailed)
+		if !strings.Contains(st.Error, "before the job started") {
+			t.Fatalf("drained job %s error %q", id, st.Error)
+		}
+	}
+	sst := awaitSweepState(t, ts, sweepID, StateFailed)
+	if !strings.Contains(sst.Error, "before the job started") {
+		t.Fatalf("drained sweep error %q", sst.Error)
+	}
+	for _, cell := range sst.CellAggs {
+		if cell.Phase != CellFailed {
+			t.Fatalf("drained sweep cell %d phase %q", cell.Cell, cell.Phase)
+		}
+	}
+}
+
+// A results stream truncated by shutdown must end with the "aborted"
+// trailer — the streamNDJSON silent-return bugfix: clients can now tell
+// a complete stream from a truncated one.
+func TestServiceStreamAbortSentinel(t *testing.T) {
+	svc := NewServer(ServerConfig{CampaignWorkers: 1})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	id := postCampaign(t, ts, longSpec())
+	awaitStateRaw(t, ts, id, StateRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type read struct {
+		n   int
+		err error
+	}
+	bodyDone := make(chan read, 1)
+	go func() {
+		b, err := io.ReadAll(resp.Body)
+		bodyDone <- read{len(b), err}
+	}()
+	// Let the stream attach, then shut the server down under it.
+	time.Sleep(50 * time.Millisecond)
+	svc.Close()
+	select {
+	case r := <-bodyDone:
+		if r.err != nil {
+			t.Fatalf("stream read: %v", r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not end after Close")
+	}
+	if tr := resp.Trailer.Get(StreamTrailer); tr != StreamAborted {
+		t.Fatalf("trailer after shutdown %q, want %q", tr, StreamAborted)
+	}
+	// A complete stream of the same (now failed) job is sealed "complete":
+	// the trailer marks truncation, not job failure.
+	resp2, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if _, err := io.ReadAll(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if tr := resp2.Trailer.Get(StreamTrailer); tr != StreamComplete {
+		t.Fatalf("trailer on terminal job %q, want %q", tr, StreamComplete)
+	}
+}
+
+// The whole lifecycle — submit, run, stream, shutdown with a drained
+// queue — must return the process to its pre-server goroutine count.
+func TestServiceCloseNoGoroutineLeak(t *testing.T) {
+	// Earlier tests leave keep-alive client connections (and their
+	// readLoop goroutines) in the shared transport pool; flush them so
+	// the baseline is the test's own.
+	http.DefaultClient.CloseIdleConnections()
+	time.Sleep(20 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	svc := NewServer(ServerConfig{CampaignWorkers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	small := testSpec()
+	small.Trials = 5
+	done := postCampaign(t, ts, small)
+	awaitStateRaw(t, ts, done, StateDone)
+	postCampaign(t, ts, longSpec()) // aborted by Close
+	postCampaign(t, ts, longSpec()) // aborted by Close
+	postCampaign(t, ts, longSpec()) // drained by Close
+	svc.Close()
+	ts.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return // workers, streams, and HTTP goroutines all gone
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d > %d after Close:\n%s",
+				runtime.NumGoroutine(), before+2, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Priority scheduling end to end: with one busy worker, a high-priority
+// submission (via the ?priority= query parameter) leaves the queue
+// before an earlier low-priority one. Both contenders take ~seconds to
+// run, so the first left-the-queue transition cannot be missed.
+func TestServicePriorityOrder(t *testing.T) {
+	svc := NewServer(ServerConfig{CampaignWorkers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	// The blocker occupies the sole worker long enough (hundreds of
+	// trials) for the two instant HTTP submissions below to queue up
+	// behind it, then finishes on its own.
+	blocker := testSpec()
+	blocker.Graph = "grid:64:64"
+	blocker.Trials = 500
+	blockerID := postCampaign(t, ts, blocker)
+	awaitStateRaw(t, ts, blockerID, StateRunning)
+
+	slow := testSpec()
+	slow.Graph = "grid:64:64"
+	slow.Trials = 200
+	low := postCampaign(t, ts, slow) // submitted first, priority 0
+	body, _ := json.Marshal(slow)
+	resp, err := http.Post(ts.URL+"/v1/campaigns?priority=9", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	high := out["id"]
+	if high == "" {
+		t.Fatal("no id for priority submission")
+	}
+	svc.mu.Lock()
+	gotPriority := svc.jobs[high].priority
+	svc.mu.Unlock()
+	if gotPriority != 9 {
+		t.Fatalf("query-parameter priority not applied: %d", gotPriority)
+	}
+
+	// The worker frees when the blocker finishes; the first job to leave
+	// StateQueued must be the high-priority one.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		hs, ls := stateOf(svc, high), stateOf(svc, low)
+		if hs != StateQueued && ls == StateQueued {
+			return // correct order
+		}
+		if ls != StateQueued {
+			t.Fatalf("low-priority job left the queue first (low %s, high %s)", ls, hs)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("neither job started (low %s, high %s)", ls, hs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func stateOf(s *Server, id string) JobState {
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return job.state
+}

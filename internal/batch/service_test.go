@@ -100,6 +100,11 @@ func fetchResults(t *testing.T, ts *httptest.Server, id string) []TrialResult {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	// Every fully-read stream must be sealed as complete (the shutdown
+	// sentinel contract: truncation would say "aborted" here instead).
+	if tr := resp.Trailer.Get(StreamTrailer); tr != StreamComplete {
+		t.Fatalf("stream trailer %q, want %q", tr, StreamComplete)
+	}
 	return out
 }
 
@@ -408,6 +413,9 @@ func fetchSweepResults(t *testing.T, ts *httptest.Server, id string) []CellResul
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
+	}
+	if tr := resp.Trailer.Get(StreamTrailer); tr != StreamComplete {
+		t.Fatalf("sweep stream trailer %q, want %q", tr, StreamComplete)
 	}
 	return out
 }

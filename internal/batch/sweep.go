@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graphspec"
@@ -79,6 +80,22 @@ type SweepSpec struct {
 	CellWorkers int `json:"cell_workers,omitempty"`
 	// MaxRounds caps a single trial (0: library default).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Priority orders the cobrad job queue (higher first; ties in
+	// submission order). Every cell inherits the sweep's priority, so a
+	// cell resubmitted as a standalone campaign queues like its sweep
+	// did. Never affects results; the library Run path ignores it.
+	Priority int `json:"priority,omitempty"`
+	// Deadline, when non-empty, is an RFC3339 timestamp by which the
+	// sweep job must have started; a sweep still queued past it is failed
+	// with the terminal state "expired". The deadline is a job-level
+	// property: it is not copied into cell specs. The library Run path
+	// ignores it.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// DeadlineTime parses the sweep deadline; the zero time means none.
+func (s SweepSpec) DeadlineTime() (time.Time, error) {
+	return parseDeadline(s.Deadline)
 }
 
 // rhos returns the rho axis with the empty default applied.
@@ -178,6 +195,9 @@ func (s SweepSpec) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("%w: max_rounds must be >= 0, got %d", ErrInput, s.MaxRounds)
 	}
+	if _, err := s.DeadlineTime(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -202,6 +222,7 @@ func (s SweepSpec) Cells() []Spec {
 			Seed:      s.Seed,
 			Workers:   s.Workers,
 			MaxRounds: s.MaxRounds,
+			Priority:  s.Priority, // cells inherit the sweep's priority
 		}
 	}
 	return cells

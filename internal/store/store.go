@@ -1,0 +1,453 @@
+// Package store is cobrad's durable job store: one append-only NDJSON
+// journal per submitted job, written so that a crashed or restarted
+// server can recover every job bit for bit.
+//
+// # Journal format
+//
+// A journal is a single file <dir>/<id>.ndjson of newline-delimited JSON
+// records:
+//
+//	line 1     Header   {"journal":"cobrad","version":1,"kind":...,"id":...,"created":...,"spec":{...}}
+//	lines 2..  results  one record per committed trial, exactly the bytes
+//	                    the service streams to results clients
+//	last line  Terminal {"journal_end":true,"state":"done",...}  (only once
+//	                    the job reached a terminal state)
+//
+// The result section is byte-identical to the NDJSON a client receives
+// from GET .../results: each record is json.Marshal output plus a
+// newline, the same encoding json.Encoder uses on the wire. Serving a
+// finished job's results therefore means copying journal lines verbatim.
+//
+// # Durability contract
+//
+// The header is fsynced before the submission is acknowledged, so an
+// accepted job is never forgotten. Result records are buffered and
+// fsynced at commit boundaries (Journal.Commit — the service commits
+// periodically for campaigns and at each cell commit for sweeps) and the
+// terminal record is fsynced before the journal closes, so a finished
+// job's results and aggregate survive any later crash. Between commit
+// boundaries a crash may lose buffered result lines — harmless, because
+// an unterminated journal is recovered by re-running its job, and the
+// campaign determinism contract (see internal/batch) makes the re-run
+// byte-identical to the lost one. A torn final line (crash mid-write) is
+// detected and ignored on recovery for the same reason.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+const (
+	// Magic is the Header.Journal tag identifying cobrad journals.
+	Magic = "cobrad"
+	// Version is the journal format version written by this package.
+	Version = 1
+	// ext is the journal filename extension.
+	ext = ".ndjson"
+	// maxLine bounds a single journal line on read (result records are a
+	// few hundred bytes; headers carry a spec, still well under this).
+	maxLine = 1 << 20
+)
+
+// Kind discriminates the job type a journal belongs to.
+type Kind string
+
+const (
+	// KindCampaign marks a single-campaign job (batch.Spec).
+	KindCampaign Kind = "campaign"
+	// KindSweep marks a parameter-sweep job (batch.SweepSpec).
+	KindSweep Kind = "sweep"
+)
+
+// Header is a journal's first line: everything needed to re-create the
+// job it records. Spec stays raw JSON here — the batch layer decodes it
+// by Kind, keeping this package free of campaign types.
+type Header struct {
+	Journal string          `json:"journal"`
+	Version int             `json:"version"`
+	Kind    Kind            `json:"kind"`
+	ID      string          `json:"id"`
+	Created time.Time       `json:"created"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+// Terminal is a journal's last line, present only once the job reached a
+// terminal state. State is the job's terminal JobState ("done",
+// "failed", "expired"); Final carries the job's final aggregate (or
+// per-cell summaries for sweeps) as raw JSON.
+type Terminal struct {
+	JournalEnd bool            `json:"journal_end"`
+	State      string          `json:"state"`
+	Completed  int             `json:"completed"`
+	Finished   time.Time       `json:"finished"`
+	Final      json.RawMessage `json:"final,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// Store is a directory of job journals. Methods are safe for concurrent
+// use on distinct job ids; a single job's journal has one writer (the
+// campaign worker running it).
+type Store struct {
+	dir string
+}
+
+// Open prepares (creating if needed) the journal directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the journal directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+ext) }
+
+// validID guards the filename namespace (ids are path components).
+func validID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Journal is an open append handle on one job's journal file.
+type Journal struct {
+	f        *os.File
+	w        *bufio.Writer
+	err      error // first write error; later operations are no-ops
+	finished bool
+}
+
+// Create starts a new journal for a job: it writes and fsyncs the header
+// line, so the job is durable before its submission is acknowledged.
+// The id must be new (an existing journal is an error, not overwritten).
+func (s *Store) Create(h Header) (*Journal, error) {
+	if !validID(h.ID) {
+		return nil, fmt.Errorf("store: invalid job id %q", h.ID)
+	}
+	h.Journal, h.Version = Magic, Version
+	line, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode header: %w", err)
+	}
+	f, err := os.OpenFile(s.path(h.ID), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	j := &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	if err := j.Append(line); err == nil {
+		err = j.Commit()
+	}
+	if j.err != nil {
+		f.Close()
+		os.Remove(s.path(h.ID))
+		return nil, j.err
+	}
+	return j, nil
+}
+
+// Append buffers one NDJSON record (json.Marshal output, no trailing
+// newline — Append adds it). Errors are sticky: after the first failure
+// every later Append/Commit/Finish returns it without writing.
+func (j *Journal) Append(record []byte) error {
+	if j.err != nil {
+		return j.err
+	}
+	if _, err := j.w.Write(record); err != nil {
+		j.err = fmt.Errorf("store: append: %w", err)
+		return j.err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		j.err = fmt.Errorf("store: append: %w", err)
+	}
+	return j.err
+}
+
+// Commit flushes buffered records and fsyncs the file — a commit
+// boundary: everything appended so far survives a crash.
+func (j *Journal) Commit() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("store: flush: %w", err)
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("store: fsync: %w", err)
+	}
+	return j.err
+}
+
+// Finish appends the terminal record, commits, and closes the journal:
+// the job's terminal state and final aggregate are durable when Finish
+// returns. A finished journal is complete — Recover restores it without
+// re-running the job.
+func (j *Journal) Finish(t Terminal) error {
+	if j.err != nil {
+		return j.err
+	}
+	t.JournalEnd = true
+	line, err := json.Marshal(t)
+	if err != nil {
+		j.err = fmt.Errorf("store: encode terminal: %w", err)
+		return j.err
+	}
+	if err := j.Append(line); err != nil {
+		return err
+	}
+	if err := j.Commit(); err != nil {
+		return err
+	}
+	j.finished = true
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("store: close: %w", err)
+	}
+	return j.err
+}
+
+// Close flushes and closes the journal without a terminal record —
+// the shutdown path for interrupted jobs: Recover sees an unterminated
+// journal and requeues the job for a (byte-identical) re-run.
+func (j *Journal) Close() error {
+	if j.finished {
+		return nil
+	}
+	flushErr := j.w.Flush()
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	for _, err := range []error{flushErr, syncErr, closeErr} {
+		if err != nil && j.err == nil {
+			j.err = fmt.Errorf("store: close: %w", err)
+		}
+	}
+	j.finished = true
+	return j.err
+}
+
+// Reset truncates a recovered journal back to its header, returning an
+// append handle positioned for the job's re-run. A crash during or after
+// Reset leaves the journal unterminated, so the job is simply requeued
+// again on the next recovery.
+func (s *Store) Reset(id string) (*Journal, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("store: invalid job id %q", id)
+	}
+	f, err := os.OpenFile(s.path(id), os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	header, err := bufio.NewReaderSize(f, maxLine).ReadBytes('\n')
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reset %s: unreadable header: %w", id, err)
+	}
+	off := int64(len(header))
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+	}
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// Remove deletes a job's journal (used to roll back a journal whose
+// submission was rejected after the header was written).
+func (s *Store) Remove(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	if err := os.Remove(s.path(id)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Recovered is one journal's parsed state: its header, its terminal
+// record when the job finished (nil for interrupted/queued jobs), and
+// the count of complete result lines on disk. Err is set when the
+// journal is unusable (unreadable or mismatched header) — the caller
+// should skip it rather than fail recovery outright.
+type Recovered struct {
+	Header   Header
+	Terminal *Terminal
+	Results  int
+	Err      error
+}
+
+// Recover parses every journal in the directory, in id order. A torn
+// final line (crash mid-append) is ignored: the affected journal simply
+// reports one fewer committed result, or no terminal record.
+func (s *Store) Recover() ([]Recovered, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Recovered
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		id := strings.TrimSuffix(name, ext)
+		rec := s.scan(id)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// scan reads one journal, classifying its lines.
+func (s *Store) scan(id string) Recovered {
+	rec := Recovered{Header: Header{ID: id}}
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		rec.Err = fmt.Errorf("store: %w", err)
+		return rec
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, maxLine)
+
+	header, err := readLine(br)
+	if err != nil {
+		rec.Err = fmt.Errorf("store: journal %s: unreadable header: %w", id, err)
+		return rec
+	}
+	var h Header
+	if err := json.Unmarshal(header, &h); err != nil || h.Journal != Magic || h.ID != id || h.Version > Version {
+		rec.Err = fmt.Errorf("store: journal %s: bad header %.80q", id, header)
+		return rec
+	}
+	rec.Header = h
+
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			// io.EOF with no data, or a torn final line: either way the
+			// committed journal ends here.
+			return rec
+		}
+		if t, ok := terminalRecord(line); ok {
+			rec.Terminal = &t
+			return rec
+		}
+		rec.Results++
+	}
+}
+
+// readLine returns the next complete (newline-terminated) line without
+// its newline; a partial line at EOF is reported as an error so torn
+// tails are never mistaken for committed records.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// terminalRecord reports whether a journal line is the terminal record.
+// Result records never carry the "journal_end" key, so a successful
+// decode with JournalEnd set identifies the terminal unambiguously.
+func terminalRecord(line []byte) (Terminal, bool) {
+	if !bytes.Contains(line, []byte(`"journal_end"`)) {
+		return Terminal{}, false
+	}
+	var t Terminal
+	if err := json.Unmarshal(line, &t); err != nil || !t.JournalEnd {
+		return Terminal{}, false
+	}
+	return t, true
+}
+
+// Results iterates a journal's committed result lines in order, skipping
+// the header and stopping before the terminal record (and before any
+// torn final line). Lines are returned without their newline, exactly as
+// appended — serving them with a newline re-creates the original NDJSON
+// stream byte for byte.
+type Results struct {
+	f    *os.File
+	br   *bufio.Reader
+	line []byte
+	err  error
+	done bool
+}
+
+// Results opens a journal's result section for reading.
+func (s *Store) Results(id string) (*Results, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("store: invalid job id %q", id)
+	}
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	br := bufio.NewReaderSize(f, maxLine)
+	if _, err := readLine(br); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: journal %s: unreadable header: %w", id, err)
+	}
+	return &Results{f: f, br: br}, nil
+}
+
+// Next advances to the next result line, reporting false at the end of
+// the result section.
+func (r *Results) Next() bool {
+	if r.done {
+		return false
+	}
+	line, err := readLine(r.br)
+	if err != nil {
+		if err != io.EOF {
+			// A torn tail surfaces as ErrUnexpectedEOF-style partial reads
+			// only through ReadBytes' io.EOF with data, which readLine
+			// already folds into err — any other error is a real I/O fault.
+			r.err = err
+		}
+		r.done = true
+		return false
+	}
+	if _, ok := terminalRecord(line); ok {
+		r.done = true
+		return false
+	}
+	r.line = line
+	return true
+}
+
+// Line returns the current result line (valid until the next call to
+// Next).
+func (r *Results) Line() []byte { return r.line }
+
+// Err returns the first I/O error hit while iterating (a clean end of
+// section, including a torn tail, is not an error).
+func (r *Results) Err() error { return r.err }
+
+// Close releases the underlying file.
+func (r *Results) Close() error { return r.f.Close() }
