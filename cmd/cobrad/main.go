@@ -27,21 +27,32 @@
 // (spec header fsynced before the 202, results appended as trials
 // commit, a terminal record sealing finished jobs), and on startup the
 // journals are replayed — finished jobs come back with their results
-// served from disk, interrupted or queued jobs are requeued and re-run.
-// Because campaigns are deterministic in (graph, process config, seed,
-// trial), the re-run reproduces the lost run byte for byte: kill -TERM a
-// cobrad mid-campaign, restart it on the same -data directory, and the
-// recovered NDJSON is identical to what an uninterrupted run would have
-// produced (CI's restart-recovery smoke asserts exactly this). -retain
+// served from disk, while interrupted or queued jobs *resume*: the
+// committed journal prefix is replayed into RAM and served to results
+// clients as-is, and only the trials past it are recomputed. Because
+// campaigns are deterministic in (graph, process config, seed, trial),
+// the resumed stream is identical to what an uninterrupted run would
+// have produced byte for byte: kill -TERM a cobrad mid-campaign, restart
+// it on the same -data directory, and the recovered NDJSON matches the
+// golden while /v1/stats trials_executed shows only the tail ran (CI's
+// restart-recovery smoke asserts both). Journals recovery cannot parse
+// are quarantined to <id>.ndjson.corrupt with a logged reason. -retain
 // and -retain-ttl bound how many finished jobs keep per-trial results in
-// RAM; evicted jobs serve their results from the journal byte-for-byte.
+// RAM; evicted jobs serve their results from the journal byte-for-byte
+// (TTL expiry runs on a background ticker, so idle servers release
+// memory too).
 //
 // The queue is priority-ordered: specs (or ?priority=/?deadline= query
 // parameters on submission) may carry a priority — higher runs first,
 // ties in submission order — and an RFC3339 deadline by which the job
 // must have started; jobs still queued past their deadline fail with
 // the distinct terminal state "expired". Sweep cells inherit their
-// sweep's priority.
+// sweep's priority. With -preempt, a submission that outranks every
+// running job checkpoints the lowest-priority one at its next trial
+// boundary: the victim's journal (when -data is set) is fsynced, the job
+// requeues at its own priority (status reports the preemption count),
+// and when it runs again it resumes from the checkpointed prefix —
+// elastic scheduling with byte-identical results.
 //
 // On shutdown no job is left non-terminal: running jobs abort, queued
 // jobs are drained and marked failed (requeued on the next start when
@@ -83,6 +94,7 @@ func main() {
 		dataDir     = flag.String("data", "", "durable job store directory; journals are replayed on startup and interrupted jobs re-run (empty: in-memory only, a restart drops all jobs)")
 		retain      = flag.Int("retain", 256, "with -data: finished jobs keeping per-trial results in RAM; older jobs serve results from their journals (negative: unlimited)")
 		retainTTL   = flag.Duration("retain-ttl", 0, "with -data: additionally evict a finished job's in-RAM results after this long (0: no TTL)")
+		preempt     = flag.Bool("preempt", false, "let higher-priority submissions checkpoint the lowest-priority running job at a trial boundary and requeue it; it later resumes from the checkpoint with byte-identical results")
 	)
 	flag.Parse()
 
@@ -103,6 +115,7 @@ func main() {
 		MaxTrials:       *maxTrials,
 		RetainResults:   *retain,
 		RetainTTL:       *retainTTL,
+		Preempt:         *preempt,
 	}, st)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cobrad: recover job store:", err)

@@ -47,10 +47,17 @@
 // journaled before the 202, results are appended as they commit, and a
 // terminal record seals finished jobs. Recovery restores finished jobs
 // (results served from the journal — the same bytes the live stream
-// wrote) and requeues interrupted ones; the campaign determinism
-// invariant makes the re-run byte-identical to the lost run. The queue
-// is a priority heap (Spec.Priority, FIFO per band) and Spec.Deadline
-// expires jobs that never started in time (terminal state "expired").
+// wrote) and *resumes* interrupted ones: the committed journal prefix is
+// replayed into RAM (Campaign.RunFrom / Sweep.RunFrom pick up at the
+// first uncommitted trial), so only the tail is recomputed, and the
+// campaign determinism invariant makes replay + tail byte-identical to
+// the lost run. Journals recovery cannot use are quarantined to
+// <id>.ndjson.corrupt. The queue is a priority heap (Spec.Priority, FIFO
+// per band) and Spec.Deadline expires jobs that never started in time
+// (terminal state "expired"); with ServerConfig.Preempt, a submission
+// that outranks every running job checkpoints the lowest-priority one at
+// its next trial boundary and requeues it to resume later — the same
+// replay path, so preemption too is invisible in the result bytes.
 // Close leaves no job in a non-terminal state — running jobs abort,
 // queued jobs are drained and failed — and a results stream truncated by
 // shutdown is distinguishable from a complete one by the X-Cobrad-Stream
@@ -250,11 +257,32 @@ func (c *Campaign) maxRounds() int {
 // the campaign stops claiming new trials and returns every error that
 // occurred (errors.Join).
 func (c *Campaign) Run(ctx context.Context, onResult func(TrialResult)) (*Aggregate, error) {
+	return c.RunFrom(ctx, 0, nil, onResult)
+}
+
+// RunFrom executes the campaign's tail, trials [from, Trials), assuming
+// trials [0, from) were already delivered — a resumed job's committed
+// journal prefix, or the prefix a preemption checkpointed. Because trial
+// k depends only on (spec, config, seed, k), the skipped prefix is
+// byte-identical to what a full run would have produced, so
+// prefix-replay + RunFrom reproduces the uninterrupted stream exactly.
+// online, when non-nil, must hold the fold of exactly that prefix in
+// trial order; RunFrom continues folding the tail into it, making the
+// returned aggregate bit-identical to the uninterrupted run's (nil
+// starts an empty fold — correct only when from is 0). Run is
+// RunFrom(ctx, 0, nil, onResult).
+func (c *Campaign) RunFrom(ctx context.Context, from int, online *stats.Online, onResult func(TrialResult)) (*Aggregate, error) {
+	if from < 0 || from > c.spec.Trials {
+		return nil, fmt.Errorf("%w: resume point %d outside [0, %d]", ErrInput, from, c.spec.Trials)
+	}
+	if online == nil {
+		online = stats.NewOnline()
+	}
 	workers := c.spec.Workers
 	resCh := make(chan TrialResult, 64)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- ForEach(ctx, c.spec.Seed, workers, c.spec.Trials, func(k int, rng *xrand.RNG) error {
+		errCh <- ForEachFrom(ctx, c.spec.Seed, workers, from, c.spec.Trials, func(k int, rng *xrand.RNG) error {
 			ws := c.pool.Get().(*engine.Workspace)
 			defer c.pool.Put(ws)
 			res, err := c.runTrial(ws, k, rng)
@@ -273,9 +301,8 @@ func (c *Campaign) Run(ctx context.Context, onResult func(TrialResult)) (*Aggreg
 
 	// Reorder completions into trial order so both the result stream and
 	// the online aggregation are independent of worker scheduling.
-	online := stats.NewOnline()
 	pending := make(map[int]TrialResult)
-	next := 0
+	next := from
 	for res := range resCh {
 		pending[res.Trial] = res
 		for {

@@ -71,10 +71,18 @@ const (
 )
 
 // cellScheduler runs n cells with at most `workers` in flight. The zero
-// value is not usable; fill every field but onPhase (optional).
+// value is not usable; fill every field but first and onPhase (optional).
 type cellScheduler struct {
 	n       int
 	workers int
+	// first is the resume point: cells [0, first) are treated as already
+	// committed (a replayed journal prefix) — they are never admitted, run,
+	// or phase-notified, and their slots in the returned aggregate slice
+	// stay nil for the caller to fill from the replayed prefix. Admission
+	// and commit both start at first, so the delivered stream is exactly
+	// the tail an uninterrupted run would have produced from cell `first`
+	// onward. Zero resumes nothing (the full schedule).
+	first int
 	// admit is called in cell-index order from the admission goroutine,
 	// before the cell reaches a worker. Sweeps compile the cell's campaign
 	// here; an error marks the cell failed and stops further admissions.
@@ -125,12 +133,18 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 	if cs.n == 0 {
 		return nil, nil
 	}
+	if cs.first < 0 || cs.first > cs.n {
+		return nil, fmt.Errorf("%w: resume cell %d outside [0, %d]", ErrInput, cs.first, cs.n)
+	}
+	if cs.first == cs.n {
+		return make([]*Aggregate, cs.n), nil
+	}
 	workers := cs.workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > cs.n {
-		workers = cs.n
+	if workers > cs.n-cs.first {
+		workers = cs.n - cs.first
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -142,7 +156,7 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 	// Admitter: strict cell-index order, one slot per uncommitted cell.
 	go func() {
 		defer close(runq)
-		for c := 0; c < cs.n; c++ {
+		for c := cs.first; c < cs.n; c++ {
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
@@ -194,7 +208,7 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 	// Committer: deliver in (cell, trial) order, commit in cell order.
 	aggs := make([]*Aggregate, cs.n)
 	pend := make(map[int]*pendingCell, workers)
-	next := 0 // head: the lowest uncommitted cell index
+	next := cs.first // head: the lowest uncommitted cell index
 	var firstErr error
 	for ev := range events {
 		if firstErr != nil {

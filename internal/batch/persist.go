@@ -3,6 +3,7 @@ package batch
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"sort"
 	"strconv"
 	"time"
@@ -18,9 +19,12 @@ import (
 // endpoint streams), and a terminal record seals the journal when the
 // job finishes. On startup the server replays the store: finished jobs
 // are restored with their aggregates in RAM and their results served
-// from disk; interrupted or still-queued jobs are reset to their header
-// and requeued — by the campaign determinism contract the re-run is
-// byte-identical to the run the crash destroyed, so recovery is exact.
+// from disk; interrupted or still-queued jobs are *resumed* — the
+// committed journal prefix is replayed into RAM (results, aggregates,
+// cell phases) and the job is requeued to execute only the uncommitted
+// tail, which the campaign determinism contract makes byte-identical to
+// the tail the crash destroyed. Unusable journals are quarantined to
+// <id>.ndjson.corrupt rather than silently rescanned forever.
 
 // Store is the pluggable durability layer behind a persistent Server,
 // implemented by *store.Store. nil means in-memory only (jobs do not
@@ -28,6 +32,8 @@ import (
 type Store interface {
 	Create(h store.Header) (*store.Journal, error)
 	Reset(id string) (*store.Journal, error)
+	ResumeAt(id string) (*store.Journal, int, error)
+	Quarantine(id string) error
 	Remove(id string) error
 	Results(id string) (*store.Results, error)
 	Recover() ([]store.Recovered, error)
@@ -35,10 +41,12 @@ type Store interface {
 
 // campaignCommitEvery is the campaign journal's commit boundary: results
 // are fsynced every this many records (sweeps additionally commit at
-// every cell boundary). Recovery never depends on mid-run commits — an
-// unterminated journal is re-run from its spec — so the boundary only
-// bounds how much a results reader of a *finished* journal could have
-// lost to an ill-timed crash, not correctness.
+// every cell boundary). Commits define the resume point: recovery keeps
+// the fsynced prefix, replays it from disk, and re-executes only the
+// trials past it, so the boundary bounds how much work an ill-timed
+// crash can force a recovered job to recompute — never correctness,
+// because the committed prefix is byte-identical to what the re-run
+// would produce (the campaign determinism contract).
 const campaignCommitEvery = 256
 
 // journalSink serializes one job's results into its journal. It is used
@@ -181,7 +189,10 @@ func (s *Server) recoverJobs() error {
 			maxID = n
 		}
 		if rec.Err != nil {
-			continue // unusable journal: skip it rather than refuse to start
+			// Unusable journal: quarantine it rather than refuse to start —
+			// and rather than silently rescanning it on every boot.
+			s.quarantine(rec.Header.ID, rec.Err)
+			continue
 		}
 		switch rec.Header.Kind {
 		case store.KindCampaign:
@@ -189,12 +200,14 @@ func (s *Server) recoverJobs() error {
 		case store.KindSweep:
 			err = s.recoverSweep(rec)
 		default:
+			s.quarantine(rec.Header.ID, fmt.Errorf("unknown journal kind %q", rec.Header.Kind))
 			continue
 		}
 		if err != nil {
 			// One undecodable spec or terminal record must not take the
-			// whole store down with it: skip the journal, keep serving the
-			// healthy jobs (same policy as rec.Err above).
+			// whole store down with it: quarantine the journal, keep
+			// serving the healthy jobs (same policy as rec.Err above).
+			s.quarantine(rec.Header.ID, err)
 			continue
 		}
 	}
@@ -222,7 +235,7 @@ func (s *Server) recoverCampaign(rec store.Recovered) error {
 	if err := json.Unmarshal(rec.Header.Spec, &spec); err != nil {
 		return fmt.Errorf("%w: journal %s: bad campaign spec: %v", ErrInput, rec.Header.ID, err)
 	}
-	job, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
+	job, n, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
 	if err != nil {
 		return err
 	}
@@ -235,6 +248,12 @@ func (s *Server) recoverCampaign(rec store.Recovered) error {
 			var agg Aggregate
 			if err := json.Unmarshal(rec.Terminal.Final, &agg); err == nil {
 				job.final = &agg
+			}
+		}
+	} else if n > 0 {
+		if err := s.replayCampaign(job, n); err != nil {
+			if err := s.resetForRerun(job, err); err != nil {
+				return err
 			}
 		}
 	}
@@ -251,7 +270,7 @@ func (s *Server) recoverSweep(rec store.Recovered) error {
 	if err := json.Unmarshal(rec.Header.Spec, &spec); err != nil {
 		return fmt.Errorf("%w: journal %s: bad sweep spec: %v", ErrInput, rec.Header.ID, err)
 	}
-	job, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
+	job, n, err := s.recoveredJob(rec, spec.Priority, spec.Deadline)
 	if err != nil {
 		return err
 	}
@@ -262,6 +281,13 @@ func (s *Server) recoverSweep(rec store.Recovered) error {
 	for i := range job.cellOnline {
 		job.cellOnline[i] = stats.NewOnline()
 		job.cellPhases[i] = CellQueued
+	}
+	if rec.Terminal == nil && n > 0 {
+		if err := s.replaySweep(job, n); err != nil {
+			if err := s.resetForRerun(job, err); err != nil {
+				return err
+			}
+		}
 	}
 	if rec.Terminal != nil {
 		if err := applyTerminal(job, rec.Terminal); err != nil {
@@ -289,12 +315,16 @@ func (s *Server) recoverSweep(rec store.Recovered) error {
 	return nil
 }
 
-// recoveredJob builds the common Job shell for a recovered journal; for
-// unterminated journals it also resets the journal for the re-run.
-func (s *Server) recoveredJob(rec store.Recovered, priority int, deadline string) (*Job, error) {
+// recoveredJob builds the common Job shell for a recovered journal. For
+// unterminated journals it reopens the journal for resumption: the
+// committed prefix is kept (any torn tail truncated) and the returned
+// count tells the caller how many result records to replay into RAM; a
+// prefix that will not scan falls back to Reset and a from-scratch
+// re-run rather than losing the job.
+func (s *Server) recoveredJob(rec store.Recovered, priority int, deadline string) (*Job, int, error) {
 	dl, err := parseDeadline(deadline)
 	if err != nil {
-		return nil, fmt.Errorf("%w: journal %s: %v", ErrInput, rec.Header.ID, err)
+		return nil, 0, fmt.Errorf("%w: journal %s: %v", ErrInput, rec.Header.ID, err)
 	}
 	s.seq++
 	job := &Job{
@@ -307,14 +337,188 @@ func (s *Server) recoveredJob(rec store.Recovered, priority int, deadline string
 		deadline: dl,
 		seq:      s.seq,
 	}
+	n := 0
 	if rec.Terminal == nil {
-		j, err := s.store.Reset(job.id)
+		j, cnt, err := s.store.ResumeAt(job.id)
 		if err != nil {
-			return nil, err
+			log.Printf("cobrad: journal %s: resume scan failed: %v; re-running from scratch", job.id, err)
+			if j, err = s.store.Reset(job.id); err != nil {
+				return nil, 0, err
+			}
+			cnt = 0
 		}
 		job.sink = newJournalSink(j)
+		n = cnt
 	}
-	return job, nil
+	return job, n, nil
+}
+
+// replayCampaign loads an interrupted campaign's committed prefix — n
+// result records — from its journal into RAM (results, count, online
+// fold), so the requeued job resumes at trial n instead of recomputing
+// the prefix. Replayed records never touch the trials-executed counter:
+// only genuinely computed trials count there.
+func (s *Server) replayCampaign(job *Job, n int) error {
+	if n > job.spec.Trials {
+		return fmt.Errorf("journal holds %d results for a %d-trial campaign", n, job.spec.Trials)
+	}
+	it, err := s.store.Results(job.id)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Next() {
+		var r TrialResult
+		if err := json.Unmarshal(it.Line(), &r); err != nil {
+			return fmt.Errorf("undecodable result record %d: %v", len(job.results), err)
+		}
+		if r.Trial != len(job.results) {
+			return fmt.Errorf("result record %d carries trial %d", len(job.results), r.Trial)
+		}
+		job.results = append(job.results, r)
+		job.online.Add(float64(r.Rounds))
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(job.results) != n {
+		return fmt.Errorf("journal replay read %d results, resume scan counted %d", len(job.results), n)
+	}
+	job.completed = n
+	job.started = true
+	return nil
+}
+
+// replaySweep is replayCampaign for sweep journals: records are
+// validated against the flattened (cell, trial) order — record i must
+// carry cell i/Trials, trial i%Trials — and folded into the per-cell
+// aggregates; fully-replayed cells are marked done so status reflects
+// the committed prefix.
+func (s *Server) replaySweep(job *Job, n int) error {
+	trials := job.sweep.Trials
+	if n > len(job.cellSpecs)*trials {
+		return fmt.Errorf("journal holds %d results for a %d-trial sweep", n, len(job.cellSpecs)*trials)
+	}
+	it, err := s.store.Results(job.id)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Next() {
+		i := len(job.cellResults)
+		var r CellResult
+		if err := json.Unmarshal(it.Line(), &r); err != nil {
+			return fmt.Errorf("undecodable result record %d: %v", i, err)
+		}
+		if r.Cell != i/trials || r.Trial != i%trials {
+			return fmt.Errorf("result record %d carries (cell %d, trial %d), want (%d, %d)",
+				i, r.Cell, r.Trial, i/trials, i%trials)
+		}
+		job.cellResults = append(job.cellResults, r)
+		job.cellOnline[r.Cell].Add(float64(r.Rounds))
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(job.cellResults) != n {
+		return fmt.Errorf("journal replay read %d results, resume scan counted %d", len(job.cellResults), n)
+	}
+	for i := 0; i < n/trials; i++ {
+		job.cellPhases[i] = CellDone
+	}
+	job.completed = n
+	job.started = true
+	return nil
+}
+
+// resetForRerun abandons an unusable committed prefix: the journal is
+// truncated back to its header, RAM state cleared, and the job re-runs
+// from trial 0 — the pre-resume recovery behavior, kept as the fallback.
+func (s *Server) resetForRerun(job *Job, cause error) error {
+	log.Printf("cobrad: journal %s: cannot resume from committed prefix: %v; re-running from scratch", job.id, cause)
+	job.sink.interrupt()
+	job.sink = nil
+	j, err := s.store.Reset(job.id)
+	if err != nil {
+		return err
+	}
+	job.sink = newJournalSink(j)
+	job.results = nil
+	job.cellResults = nil
+	job.completed = 0
+	job.started = false
+	job.online = stats.NewOnline()
+	for i := range job.cellOnline {
+		job.cellOnline[i] = stats.NewOnline()
+		job.cellPhases[i] = CellQueued
+	}
+	return nil
+}
+
+// quarantine sidelines a journal recovery cannot use, logging the cause
+// once; the renamed <id>.ndjson.corrupt file stays on disk for the
+// operator, and later startup scans no longer pay to parse it.
+func (s *Server) quarantine(id string, cause error) {
+	log.Printf("cobrad: journal %s unusable: %v; quarantining as %s%s.corrupt", id, cause, id, ".ndjson")
+	if err := s.store.Quarantine(id); err != nil {
+		log.Printf("cobrad: quarantine journal %s: %v", id, err)
+	}
+}
+
+// reopenSink reopens a resumed job's journal before a run attempt (the
+// previous attempt closed it at a committed boundary when the job was
+// preempted, or recovery's reopen was lost). The scan's committed count
+// is reconciled with RAM: normally they already agree — every record is
+// written to the journal before RAM, and preemption closes with a flush
+// — but if the previous attempt's sink had broken mid-run, disk is
+// behind RAM, and disk wins: the resumed attempt appends after the
+// committed prefix, so RAM rolls back to it and the tail past it is
+// recomputed (byte-identically).
+func (s *Server) reopenSink(job *Job) {
+	if job.sink != nil {
+		return
+	}
+	j, n, err := s.store.ResumeAt(job.id)
+	if err != nil {
+		log.Printf("cobrad: job %s: reopen journal for resume: %v; continuing without persistence", job.id, err)
+		return
+	}
+	job.sink = newJournalSink(j)
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.completed == n {
+		return
+	}
+	if job.sweep != nil {
+		if n > len(job.cellResults) {
+			n = len(job.cellResults) // unreachable: disk never leads RAM
+		}
+		job.cellResults = job.cellResults[:n]
+		for i := range job.cellOnline {
+			job.cellOnline[i] = stats.NewOnline()
+		}
+		for _, r := range job.cellResults {
+			job.cellOnline[r.Cell].Add(float64(r.Rounds))
+		}
+		done := n / job.sweep.Trials
+		for i := range job.cellPhases {
+			if i < done {
+				job.cellPhases[i] = CellDone
+			} else {
+				job.cellPhases[i] = CellQueued
+			}
+		}
+	} else {
+		if n > len(job.results) {
+			n = len(job.results) // unreachable: disk never leads RAM
+		}
+		job.results = job.results[:n]
+		job.online = stats.NewOnline()
+		for _, r := range job.results {
+			job.online.Add(float64(r.Rounds))
+		}
+	}
+	job.completed = n
 }
 
 // applyTerminal restores a job's terminal state from its journal. The
@@ -340,7 +544,9 @@ func applyTerminal(job *Job, t *store.Terminal) error {
 // status and aggregates stay, and their results are served from the
 // journal. Only durably persisted jobs are evicted, and never while a
 // results stream is following them; without a Store nothing is ever
-// evicted.
+// evicted. TTL expiry is additionally enforced by the retention ticker
+// and on status/results reads, so it does not wait for the next job to
+// finish.
 func (s *Server) finishJob(job *Job) {
 	if s.store == nil {
 		return
@@ -353,11 +559,13 @@ func (s *Server) finishJob(job *Job) {
 	if persisted {
 		s.finishedJobs = append(s.finishedJobs, job)
 	}
-	s.evictLocked(time.Now())
+	s.evictLocked()
 }
 
-// evictLocked enforces the retention bounds. Callers hold s.mu.
-func (s *Server) evictLocked(now time.Time) {
+// evictLocked enforces the retention bounds against the server clock.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	now := s.clock()
 	keep := s.cfg.RetainResults
 	if keep < 0 {
 		keep = len(s.finishedJobs) // count bound disabled; TTL may still evict

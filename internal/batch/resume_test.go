@@ -1,0 +1,136 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/repro/cobra/internal/stats"
+)
+
+// The resume contract at the library layer: RunFrom(from, prefix-fold)
+// must reproduce the uninterrupted run's tail stream and final aggregate
+// bit for bit, at every resume offset. The service's journal replay is
+// exactly this call with the prefix folded from disk.
+
+// prefixFold folds the first `from` round counts of a full run's result
+// stream, in order — the Online state a resumed job reconstructs by
+// replaying its committed journal prefix.
+func prefixFold(results []TrialResult, from int) *stats.Online {
+	online := stats.NewOnline()
+	for _, r := range results[:from] {
+		online.Add(float64(r.Rounds))
+	}
+	return online
+}
+
+func TestCampaignRunFromMatchesFullRun(t *testing.T) {
+	spec := testSpec()
+	spec.Workers = 4
+	full, fullAgg := runCampaign(t, spec, nil)
+
+	c, err := Compile(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every boundary class: fresh start, after one commit, mid-run, one
+	// trial left, and nothing left to compute.
+	for _, from := range []int{0, 1, 17, spec.Trials - 1, spec.Trials} {
+		var tail []TrialResult
+		agg, err := c.RunFrom(context.Background(), from, prefixFold(full, from),
+			func(r TrialResult) { tail = append(tail, r) })
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if len(tail) != spec.Trials-from {
+			t.Fatalf("from=%d: tail has %d results, want %d", from, len(tail), spec.Trials-from)
+		}
+		for i, r := range tail {
+			if r != full[from+i] {
+				t.Fatalf("from=%d: tail trial %d differs: %+v vs %+v", from, from+i, r, full[from+i])
+			}
+		}
+		if *agg != *fullAgg {
+			t.Fatalf("from=%d: aggregate differs: %+v vs %+v", from, *agg, *fullAgg)
+		}
+	}
+
+	// Out-of-range resume points are input errors, not silent clamps.
+	for _, from := range []int{-1, spec.Trials + 1} {
+		if _, err := c.RunFrom(context.Background(), from, nil, nil); !errors.Is(err, ErrInput) {
+			t.Fatalf("from=%d accepted: %v", from, err)
+		}
+	}
+}
+
+func TestSweepRunFromMatchesFullRun(t *testing.T) {
+	spec := testSweepSpec()
+	spec.CellWorkers = 3
+	full, fullCells := runSweep(t, spec, nil)
+	trials := spec.Trials
+
+	// sweepPrefix rebuilds the per-cell folds a resumed sweep derives from
+	// its journal: one Online per cell touched by the first `from` flat
+	// results.
+	sweepPrefix := func(from int) []*stats.Online {
+		prefix := make([]*stats.Online, spec.CellCount())
+		for i := range prefix {
+			prefix[i] = stats.NewOnline()
+		}
+		for _, r := range full[:from] {
+			prefix[r.Cell].Add(float64(r.Rounds))
+		}
+		return prefix
+	}
+
+	// Offsets cover a cell-boundary resume, a mid-cell resume (head cell
+	// continues via Campaign.RunFrom), a fresh start, and a fully-replayed
+	// sweep where no trial runs at all.
+	total := spec.CellCount() * trials
+	for _, from := range []int{0, 2 * trials, 2*trials + 3, total - 1, total} {
+		sw, err := CompileSweep(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tail []CellResult
+		cells, err := sw.RunFrom(context.Background(), from, sweepPrefix(from),
+			func(r CellResult) { tail = append(tail, r) })
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if len(tail) != total-from {
+			t.Fatalf("from=%d: tail has %d results, want %d", from, len(tail), total-from)
+		}
+		for i, r := range tail {
+			if r != full[from+i] {
+				t.Fatalf("from=%d: tail result %d differs: %+v vs %+v", from, from+i, r, full[from+i])
+			}
+		}
+		if len(cells) != len(fullCells) {
+			t.Fatalf("from=%d: %d summaries, want %d", from, len(cells), len(fullCells))
+		}
+		for i := range cells {
+			got, want := cells[i], fullCells[i]
+			if got.Cell != want.Cell || got.Graph != want.Graph || got.Process != want.Process ||
+				got.Branch != want.Branch || got.Rho != want.Rho {
+				t.Fatalf("from=%d: cell %d coordinates differ: %+v vs %+v", from, i, got, want)
+			}
+			if *got.Aggregate != *want.Aggregate {
+				t.Fatalf("from=%d: cell %d aggregate differs: %+v vs %+v", from, i, *got.Aggregate, *want.Aggregate)
+			}
+		}
+	}
+
+	// A resume past cell 0 without the replayed cells' folds is an input
+	// error — the summaries could not be rebuilt.
+	sw, err := CompileSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.RunFrom(context.Background(), trials, nil, nil); !errors.Is(err, ErrInput) {
+		t.Fatalf("missing prefix accepted: %v", err)
+	}
+	if _, err := sw.RunFrom(context.Background(), total+1, sweepPrefix(0), nil); !errors.Is(err, ErrInput) {
+		t.Fatalf("out-of-range resume point accepted: %v", err)
+	}
+}

@@ -28,21 +28,37 @@ var ErrInput = errors.New("batch: invalid input")
 // and ForEach returns every trial error that occurred, combined with
 // errors.Join in trial-index order. No error is silently discarded.
 func ForEach(ctx context.Context, seed uint64, workers, trials int, fn func(trial int, rng *xrand.RNG) error) error {
+	return ForEachFrom(ctx, seed, workers, 0, trials, fn)
+}
+
+// ForEachFrom is ForEach starting at trial index `from`: fn runs for
+// every k in [from, trials), each with the stream NewStream(seed, k) —
+// the same per-trial stream the full run would use, so a resumed tail is
+// trial-for-trial identical to the tail of an uninterrupted run (the
+// resume-from-committed-prefix contract). from == trials is a no-op.
+func ForEachFrom(ctx context.Context, seed uint64, workers, from, trials int, fn func(trial int, rng *xrand.RNG) error) error {
 	if trials < 1 {
 		return fmt.Errorf("%w: trials < 1", ErrInput)
+	}
+	if from < 0 || from > trials {
+		return fmt.Errorf("%w: resume point %d outside [0, %d]", ErrInput, from, trials)
 	}
 	if fn == nil {
 		return fmt.Errorf("%w: nil trial function", ErrInput)
 	}
+	if from == trials {
+		return ctx.Err()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > trials {
-		workers = trials
+	if workers > trials-from {
+		workers = trials - from
 	}
 
 	errs := make([]error, trials)
 	var next atomic.Int64
+	next.Store(int64(from))
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

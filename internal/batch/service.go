@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/cobra/internal/stats"
@@ -40,6 +41,9 @@ import (
 //	GET  /v1/sweeps/{id}/results  per-cell trial results as NDJSON in
 //	                              (cell, trial) order, streamed live
 //	GET  /v1/sweeps/{id}/table    cross-cell summary grid (header + rows)
+//	GET  /v1/stats                process counters: trials_executed (this
+//	                              process only — journal replay excluded),
+//	                              preemptions, graph-cache hits/misses/size
 //	GET  /healthz                 liveness
 //
 // The determinism contract extends over the wire: a campaign submitted
@@ -61,9 +65,14 @@ import (
 // Durability: a Server built with NewServerWith journals every accepted
 // job to a Store (see internal/store and persist.go). On startup the
 // journals are replayed: finished jobs are restored with results served
-// from disk, and interrupted or queued jobs are requeued for a re-run
-// that the campaign determinism contract makes byte-identical to the run
-// that was lost. The shutdown contract holds with or without a store:
+// from disk, and interrupted or queued jobs are requeued to *resume* —
+// the committed journal prefix is loaded back into RAM and streamed to
+// results clients, and only the uncommitted tail is recomputed, which
+// the campaign determinism contract makes byte-identical to the tail
+// that was lost. With ServerConfig.Preempt, a higher-priority submission
+// can checkpoint a running job at its next trial boundary; the
+// preempted job requeues and later resumes from its committed prefix
+// the same way. The shutdown contract holds with or without a store:
 // Close leaves no job non-terminal (running jobs abort, queued jobs are
 // drained and marked failed), and truncated result streams are flagged
 // by the X-Cobrad-Stream trailer.
@@ -82,7 +91,7 @@ const (
 	// down before the job could finish (Close aborts running jobs and
 	// drains queued ones — no job is ever left non-terminal); Error holds
 	// the cause. With a Store attached, shutdown-aborted jobs are requeued
-	// and re-run on the next start.
+	// on the next start and resume from their committed journal prefix.
 	StateFailed JobState = "failed"
 	// StateExpired means the job's deadline passed while it was still
 	// queued; it never ran. A distinct terminal state so clients can tell
@@ -120,10 +129,22 @@ type ServerConfig struct {
 	// nothing is evicted (the pre-persistence behavior: unbounded RAM).
 	RetainResults int
 	// RetainTTL additionally evicts a finished job's in-RAM results once
-	// the job has been finished this long (0 = no TTL). Evaluated at
-	// terminal transitions and stream closes, not on a timer. Requires a
+	// the job has been finished this long (0 = no TTL). Enforced by a
+	// background retention ticker and opportunistically on terminal
+	// transitions, status reads and stream closes, so an idle server
+	// releases expired slices without waiting for new work. Requires a
 	// Store, like RetainResults.
 	RetainTTL time.Duration
+	// Preempt enables trial-boundary preemption: when every campaign
+	// worker is busy and a submission outranks a running job, the
+	// lowest-priority running job is asked to yield at its next result.
+	// The victim checkpoints (journal fsync at a trial boundary), requeues
+	// at its own priority, and later resumes from its committed prefix —
+	// replaying the prefix from disk and executing only the remaining
+	// trials, with the full result stream byte-identical to an
+	// uninterrupted run (the campaign determinism contract). Off by
+	// default; never affects results, only when trials execute.
+	Preempt bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -179,27 +200,35 @@ type Job struct {
 	persisted   bool // journal sealed with a terminal record
 	evicted     bool // result slices dropped; results served from the journal
 	streams     int  // live results streams reading the in-RAM slices
+	started     bool // the job has executed trials (this process or a prior one)
+	preempt     bool // a higher-priority job asked this one to yield
+	preemptions int  // times the job was checkpointed and requeued
 }
 
 // jobStatus is the wire form of a job's status.
 type jobStatus struct {
-	ID        string     `json:"id"`
-	State     JobState   `json:"state"`
-	Spec      Spec       `json:"spec"`
-	Trials    int        `json:"trials"`
-	Completed int        `json:"completed"`
-	Aggregate *Aggregate `json:"aggregate,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Spec      Spec     `json:"spec"`
+	Trials    int      `json:"trials"`
+	Completed int      `json:"completed"`
+	// Preemptions counts how often the job was checkpointed at a trial
+	// boundary and requeued for a higher-priority submission; its results
+	// are unaffected (resume is byte-identical).
+	Preemptions int        `json:"preemptions,omitempty"`
+	Aggregate   *Aggregate `json:"aggregate,omitempty"`
+	Error       string     `json:"error,omitempty"`
 }
 
 func (j *Job) statusLocked() jobStatus {
 	st := jobStatus{
-		ID:        j.id,
-		State:     j.state,
-		Spec:      j.spec,
-		Trials:    j.spec.Trials,
-		Completed: j.completed,
-		Error:     j.errMsg,
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Trials:      j.spec.Trials,
+		Completed:   j.completed,
+		Preemptions: j.preemptions,
+		Error:       j.errMsg,
 	}
 	if j.final != nil {
 		st.Aggregate = j.final
@@ -213,14 +242,16 @@ func (j *Job) statusLocked() jobStatus {
 
 // sweepStatus is the wire form of a sweep job's status.
 type sweepStatus struct {
-	ID        string        `json:"id"`
-	State     JobState      `json:"state"`
-	Spec      SweepSpec     `json:"spec"`
-	Cells     int           `json:"cells"`
-	Trials    int           `json:"trials"`    // total across cells
-	Completed int           `json:"completed"` // trials completed across cells
-	CellAggs  []CellSummary `json:"cell_aggregates,omitempty"`
-	Error     string        `json:"error,omitempty"`
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Spec      SweepSpec `json:"spec"`
+	Cells     int       `json:"cells"`
+	Trials    int       `json:"trials"`    // total across cells
+	Completed int       `json:"completed"` // trials completed across cells
+	// Preemptions counts trial-boundary checkpoints (see jobStatus).
+	Preemptions int           `json:"preemptions,omitempty"`
+	CellAggs    []CellSummary `json:"cell_aggregates,omitempty"`
+	Error       string        `json:"error,omitempty"`
 }
 
 // sweepStatusLocked renders the job's wire status; withCells selects
@@ -228,13 +259,14 @@ type sweepStatus struct {
 // them to keep listings compact and each job's lock hold short).
 func (j *Job) sweepStatusLocked(withCells bool) sweepStatus {
 	st := sweepStatus{
-		ID:        j.id,
-		State:     j.state,
-		Spec:      *j.sweep,
-		Cells:     len(j.cellSpecs),
-		Trials:    len(j.cellSpecs) * j.sweep.Trials,
-		Completed: j.completed,
-		Error:     j.errMsg,
+		ID:          j.id,
+		State:       j.state,
+		Spec:        *j.sweep,
+		Cells:       len(j.cellSpecs),
+		Trials:      len(j.cellSpecs) * j.sweep.Trials,
+		Completed:   j.completed,
+		Preemptions: j.preemptions,
+		Error:       j.errMsg,
 	}
 	if !withCells {
 		return st
@@ -275,14 +307,22 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// trialsExec counts trials executed by this process — replayed journal
+	// records never increment it, so tests and the CI smoke can assert
+	// that a resumed job recomputed only its tail (/v1/stats).
+	trialsExec atomic.Int64
+	preempts   atomic.Int64 // checkpoint-and-requeue events (/v1/stats)
+
 	mu           sync.Mutex
 	jobs         map[string]*Job
 	order        []string // submission order, for the list endpoint
 	sweeps       map[string]*Job
 	sweepOrder   []string
 	nextID       int
-	seq          int    // queue tie-break sequence (includes recovered jobs)
-	finishedJobs []*Job // terminal persisted jobs in finish order (retention)
+	seq          int               // queue tie-break sequence (includes recovered jobs)
+	finishedJobs []*Job            // terminal persisted jobs in finish order (retention)
+	running      map[*Job]struct{} // jobs currently on a campaign worker (preemption)
+	clock        func() time.Time  // time source for retention; tests may override
 }
 
 // NewServer builds an in-memory service and starts its campaign workers.
@@ -306,20 +346,23 @@ func NewServerWith(cfg ServerConfig, st Store) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheSize),
-		mux:    http.NewServeMux(),
-		queue:  newJobQueue(cfg.QueueDepth),
-		store:  st,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*Job),
-		sweeps: make(map[string]*Job),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		queue:   newJobQueue(cfg.QueueDepth),
+		store:   st,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+		sweeps:  make(map[string]*Job),
+		running: make(map[*Job]struct{}),
+		clock:   time.Now,
 	}
 	s.mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
 	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("/v1/sweeps/", s.handleSweep)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -333,7 +376,82 @@ func NewServerWith(cfg ServerConfig, st Store) (*Server, error) {
 		s.wg.Add(1)
 		go s.campaignWorker()
 	}
+	if s.store != nil && cfg.RetainTTL > 0 {
+		s.wg.Add(1)
+		go s.retentionLoop()
+	}
 	return s, nil
+}
+
+// handleStats serves GET /v1/stats: process-wide execution counters.
+// trials_executed counts trials computed by this process (journal replay
+// excluded), so after a restart it measures exactly the recomputed tail;
+// preemptions counts checkpoint-and-requeue events.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	hits, misses, size := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trials_executed": s.trialsExec.Load(),
+		"preemptions":     s.preempts.Load(),
+		"cache_hits":      hits,
+		"cache_misses":    misses,
+		"cache_size":      size,
+	})
+}
+
+// TrialsExecuted reports how many trials this process computed (replayed
+// journal records excluded) — the resume path's "no recomputation"
+// assertions key off it.
+func (s *Server) TrialsExecuted() int64 { return s.trialsExec.Load() }
+
+// Preemptions reports how many checkpoint-and-requeue events occurred.
+func (s *Server) Preemptions() int64 { return s.preempts.Load() }
+
+// setClock overrides the retention time source (tests only).
+func (s *Server) setClock(now func() time.Time) {
+	s.mu.Lock()
+	s.clock = now
+	s.mu.Unlock()
+}
+
+// retentionLoop enforces RetainTTL on a timer, so expired result slices
+// are released even when no job finishes and no client reads — the
+// pre-ticker behavior left them in RAM indefinitely on an idle server.
+func (s *Server) retentionLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.RetainTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.evictLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// touchRetention applies the TTL policy from read paths, so an expired
+// job observed by a client is evicted without waiting for the ticker.
+func (s *Server) touchRetention() {
+	if s.store == nil || s.cfg.RetainTTL <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
@@ -382,9 +500,15 @@ func (s *Server) campaignWorker() {
 
 // expireJob fails a job whose deadline passed while it was queued,
 // reporting whether it did. Expiry is checked when a worker picks the
-// job up — a job that starts before its deadline runs to completion.
+// job up — a job that starts before its deadline runs to completion, and
+// a job that already executed trials (a preempted or recovered partial
+// job waiting to resume) met its started-by deadline in its first run,
+// so it is never expired retroactively.
 func (s *Server) expireJob(job *Job) bool {
-	if job.deadline.IsZero() || time.Now().Before(job.deadline) {
+	job.mu.Lock()
+	started := job.started
+	job.mu.Unlock()
+	if started || job.deadline.IsZero() || time.Now().Before(job.deadline) {
 		return false
 	}
 	now := time.Now()
@@ -403,17 +527,40 @@ func (s *Server) expireJob(job *Job) bool {
 }
 
 func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	s.running[job] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.running, job)
+		s.mu.Unlock()
+	}()
+
+	// Each run attempt gets its own context so preemption can stop this
+	// attempt at a trial boundary without touching the server lifetime.
+	runCtx, cancelRun := context.WithCancel(s.ctx)
+	defer cancelRun()
+
 	job.mu.Lock()
 	job.state = StateRunning
+	job.started = true
+	job.preempt = false
 	job.bumpLocked()
 	job.mu.Unlock()
 
+	// A resumed job (preempted earlier, or recovered with its reopen
+	// deferred) has no sink: reopen the journal positioned after the
+	// committed prefix and reconcile RAM with it.
+	if s.store != nil {
+		s.reopenSink(job)
+	}
+
 	// fail distinguishes a genuine failure (terminal record sealed in the
 	// journal) from a shutdown abort: the latter leaves the journal
-	// unterminated so the next recovery requeues the job, whose re-run is
-	// byte-identical by the campaign determinism invariant. Journal
-	// sealing fsyncs, so it happens outside job.mu (like record on the
-	// hot path): status and list readers must never stall behind disk.
+	// unterminated so the next recovery resumes the job from its committed
+	// prefix, byte-identical by the campaign determinism invariant.
+	// Journal sealing fsyncs, so it happens outside job.mu (like record on
+	// the hot path): status and list readers must never stall behind disk.
 	fail := func(err error) {
 		now := time.Now()
 		shutdown := s.ctx.Err() != nil
@@ -432,7 +579,7 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	if job.sweep != nil {
-		s.runSweepJob(job, fail)
+		s.runSweepJob(job, runCtx, cancelRun, fail)
 		return
 	}
 
@@ -441,16 +588,37 @@ func (s *Server) runJob(job *Job) {
 		fail(err)
 		return
 	}
-	agg, err := campaign.Run(s.ctx, func(r TrialResult) {
+	// Resume point: everything already in RAM (replayed journal prefix,
+	// or a preempted first attempt's delivered trials) is skipped; the
+	// online clone seeds RunFrom's aggregate fold so the final aggregate
+	// matches an uninterrupted run bit for bit.
+	job.mu.Lock()
+	from := job.completed
+	online := job.online.Clone()
+	job.mu.Unlock()
+	agg, err := campaign.RunFrom(runCtx, from, online, func(r TrialResult) {
 		job.sink.record(r)
+		s.trialsExec.Add(1)
 		job.mu.Lock()
 		job.results = append(job.results, r)
 		job.completed++
 		job.online.Add(float64(r.Rounds))
+		preempt := job.preempt
 		job.bumpLocked()
 		job.mu.Unlock()
+		if preempt {
+			// Checkpoint at this trial boundary: fsync the delivered
+			// prefix, then stop the attempt. Trials already in flight may
+			// still deliver before the scheduler drains; each lands in the
+			// journal and RAM alike, keeping the two in lockstep.
+			job.sink.boundary()
+			cancelRun()
+		}
 	})
 	if err != nil {
+		if s.requeuePreempted(job, runCtx) {
+			return
+		}
 		fail(err)
 		return
 	}
@@ -465,6 +633,91 @@ func (s *Server) runJob(job *Job) {
 	s.sealJob(job, StateDone, completed, now, agg, "")
 }
 
+// requeuePreempted handles a run attempt that stopped because the job
+// was asked to yield: the journal is closed at a committed boundary
+// (reopened by the next attempt via ResumeAt) and the job goes back in
+// the queue at its own priority, state queued. Reports false when the
+// stop was not a preemption — genuine failure (runCtx not cancelled, so
+// the yield was never checkpointed) or server shutdown — in which case
+// the caller's normal error path applies.
+func (s *Server) requeuePreempted(job *Job, runCtx context.Context) bool {
+	job.mu.Lock()
+	if !job.preempt || runCtx.Err() == nil || s.ctx.Err() != nil {
+		job.mu.Unlock()
+		return false
+	}
+	job.preempt = false
+	job.preemptions++
+	job.state = StateQueued
+	if job.sweep != nil {
+		// Cells whose every trial was delivered are done; the rest wait
+		// for the resumed attempt (the head cell re-enters mid-campaign).
+		done := job.completed / job.sweep.Trials
+		for i := range job.cellPhases {
+			if i < done {
+				job.cellPhases[i] = CellDone
+			} else {
+				job.cellPhases[i] = CellQueued
+			}
+		}
+	}
+	job.bumpLocked()
+	job.mu.Unlock()
+	// Close (flush+fsync) the journal so the resumed attempt's ResumeAt
+	// sees every delivered trial as committed prefix.
+	job.sink.interrupt()
+	job.sink = nil
+	s.preempts.Add(1)
+	if !s.queue.push(job, true) {
+		// The queue closed during the preemption window: Close's drain ran
+		// (or will run) without this job, so terminalize it here exactly
+		// like the drain path. The unterminated journal resumes next start.
+		job.mu.Lock()
+		job.state = StateFailed
+		job.errMsg = "aborted: server shut down before the job started"
+		job.finished = time.Now()
+		for i := range job.cellPhases {
+			job.cellPhases[i] = CellFailed
+		}
+		job.bumpLocked()
+		job.mu.Unlock()
+	}
+	return true
+}
+
+// maybePreempt asks the lowest-priority running job to yield when a
+// newly queued submission outranks it and every campaign worker is busy.
+// The victim observes the flag at its next delivered trial, checkpoints,
+// and requeues — scheduling only; results are never affected.
+func (s *Server) maybePreempt(priority int) {
+	if !s.cfg.Preempt {
+		return
+	}
+	s.mu.Lock()
+	var victim *Job
+	if len(s.running) >= s.cfg.CampaignWorkers {
+		for job := range s.running {
+			if job.priority >= priority {
+				continue // priority and seq are immutable after submission
+			}
+			if victim == nil || job.priority < victim.priority ||
+				(job.priority == victim.priority && job.seq > victim.seq) {
+				victim = job
+			}
+		}
+	}
+	s.mu.Unlock()
+	if victim == nil {
+		return
+	}
+	victim.mu.Lock()
+	if victim.state == StateRunning && !victim.preempt {
+		victim.preempt = true
+		victim.bumpLocked()
+	}
+	victim.mu.Unlock()
+}
+
 // sealJob writes a job's terminal record (fsync included) outside
 // job.mu, then records the durable verdict and applies retention.
 func (s *Server) sealJob(job *Job, state JobState, completed int, finished time.Time, final any, errMsg string) {
@@ -477,8 +730,11 @@ func (s *Server) sealJob(job *Job, state JobState, completed int, finished time.
 
 // runSweepJob executes a sweep job against the server's shared graph
 // cache, accumulating results in (cell, trial) order and tracking each
-// cell's scheduler phase for the status endpoint.
-func (s *Server) runSweepJob(job *Job, fail func(error)) {
+// cell's scheduler phase for the status endpoint. A resumed sweep (a
+// replayed journal prefix, or a preempted first attempt) re-enters at
+// the first undelivered (cell, trial): fully-delivered cells are never
+// re-admitted and the head cell continues mid-campaign.
+func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context.CancelFunc, fail func(error)) {
 	sweep, err := CompileSweep(*job.sweep, s.cache)
 	if err != nil {
 		fail(err)
@@ -490,8 +746,15 @@ func (s *Server) runSweepJob(job *Job, fail func(error)) {
 		job.bumpLocked()
 		job.mu.Unlock()
 	}
+	job.mu.Lock()
+	from := job.completed
+	prefix := make([]*stats.Online, len(job.cellOnline))
+	for i, o := range job.cellOnline {
+		prefix[i] = o.Clone()
+	}
+	job.mu.Unlock()
 	lastCell := -1
-	cells, err := sweep.Run(s.ctx, func(r CellResult) {
+	cells, err := sweep.RunFrom(runCtx, from, prefix, func(r CellResult) {
 		if r.Cell != lastCell {
 			// A new cell starts committing: fsync the finished one (the
 			// sweep journal's commit boundary).
@@ -499,14 +762,24 @@ func (s *Server) runSweepJob(job *Job, fail func(error)) {
 			lastCell = r.Cell
 		}
 		job.sink.record(r)
+		s.trialsExec.Add(1)
 		job.mu.Lock()
 		job.cellResults = append(job.cellResults, r)
 		job.completed++
 		job.cellOnline[r.Cell].Add(float64(r.Rounds))
+		preempt := job.preempt
 		job.bumpLocked()
 		job.mu.Unlock()
+		if preempt {
+			// Checkpoint at this trial boundary (see the campaign path).
+			job.sink.boundary()
+			cancelRun()
+		}
 	})
 	if err != nil {
+		if s.requeuePreempted(job, runCtx) {
+			return
+		}
 		// Cells admitted but never committed are dead, not running: leave
 		// no phantom "running" phases behind on a failed job (cells still
 		// "queued" genuinely never started).
@@ -636,6 +909,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.mu.Unlock()
+	s.maybePreempt(job.priority)
 	w.Header().Set("Location", "/v1/campaigns/"+id)
 	writeJSON(w, http.StatusAccepted, map[string]string{
 		"id":          id,
@@ -663,6 +937,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	s.touchRetention()
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/campaigns/")
 	id, sub, _ := strings.Cut(rest, "/")
 	s.mu.Lock()
@@ -737,7 +1012,7 @@ func (s *Server) releaseStream(job *Job) {
 	if s.store != nil {
 		// A deferred eviction may have been waiting on this stream.
 		s.mu.Lock()
-		s.evictLocked(time.Now())
+		s.evictLocked()
 		s.mu.Unlock()
 	}
 }
@@ -913,6 +1188,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweeps[id] = job
 	s.sweepOrder = append(s.sweepOrder, id)
 	s.mu.Unlock()
+	s.maybePreempt(job.priority)
 	w.Header().Set("Location", "/v1/sweeps/"+id)
 	writeJSON(w, http.StatusAccepted, map[string]string{
 		"id":          id,
@@ -942,6 +1218,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	s.touchRetention()
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
 	id, sub, _ := strings.Cut(rest, "/")
 	s.mu.Lock()

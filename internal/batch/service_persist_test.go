@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -541,8 +543,9 @@ func TestServiceQueueFullRollsBackJournal(t *testing.T) {
 }
 
 // One unusable journal (valid header, undecodable spec) must not take
-// the store down: recovery skips it, restores the healthy jobs, and
-// still advances the id counter past the bad file.
+// the store down: recovery quarantines it (renamed <id>.ndjson.corrupt,
+// never silently rescanned), restores the healthy jobs, and still
+// advances the id counter past the bad file.
 func TestServiceRecoverySkipsBadJournals(t *testing.T) {
 	dir := t.TempDir()
 	svc, ts := newPersistentServer(t, dir, ServerConfig{})
@@ -584,6 +587,14 @@ func TestServiceRecoverySkipsBadJournals(t *testing.T) {
 	freshID := postCampaign(t, ts2, spec)
 	if idNumber(freshID) <= 9 {
 		t.Fatalf("id counter did not advance past the bad journal: %s", freshID)
+	}
+	// The bad journal was quarantined, not left to be rescanned (and
+	// re-logged) on every subsequent boot.
+	if _, err := os.Stat(filepath.Join(dir, "c000009.ndjson.corrupt")); err != nil {
+		t.Fatalf("bad journal not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c000009.ndjson")); !os.IsNotExist(err) {
+		t.Fatalf("bad journal still in place (err %v)", err)
 	}
 }
 

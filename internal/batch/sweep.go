@@ -11,6 +11,7 @@ import (
 
 	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graphspec"
+	"github.com/repro/cobra/internal/stats"
 )
 
 // Parameter-sweep campaigns: one submission carrying axes whose cross
@@ -318,11 +319,49 @@ func (sw *Sweep) CacheStats() (hits, misses int64, size int) { return sw.cache.S
 // first failing cell in commit order stops the sweep. A Sweep must not
 // be run concurrently with itself.
 func (sw *Sweep) Run(ctx context.Context, onResult func(CellResult)) ([]CellSummary, error) {
+	return sw.RunFrom(ctx, 0, nil, onResult)
+}
+
+// RunFrom executes the sweep's tail, flat results [from, CellCount ×
+// Trials), assuming the first `from` results of the flattened (cell,
+// trial) stream were already delivered — a resumed job's committed
+// journal prefix. Result m of the flat stream is trial m%Trials of cell
+// m/Trials, so the resume point splits into a head cell (resumed
+// mid-campaign via Campaign.RunFrom) and fully-replayed cells before it,
+// whose summaries are rebuilt from prefix rather than recomputed.
+// prefix[c], for each replayed cell c (< from/Trials, plus the head cell
+// when it resumes mid-cell), must hold the fold of exactly that cell's
+// replayed trials in trial order; entries past the head cell are
+// ignored. Determinism makes the tail — and therefore replay + RunFrom —
+// byte-identical to the uninterrupted stream. Run is
+// RunFrom(ctx, 0, nil, onResult).
+func (sw *Sweep) RunFrom(ctx context.Context, from int, prefix []*stats.Online, onResult func(CellResult)) ([]CellSummary, error) {
+	n := len(sw.cellSpecs)
+	total := n * sw.spec.Trials
+	if from < 0 || from > total {
+		return nil, fmt.Errorf("%w: resume point %d outside [0, %d]", ErrInput, from, total)
+	}
+	fromCell, fromTrial := from/sw.spec.Trials, from%sw.spec.Trials
+	replayed := fromCell
+	if fromTrial > 0 {
+		replayed++ // the head cell resumes from a partial prefix
+	}
+	for c := 0; c < replayed; c++ {
+		if c >= len(prefix) || prefix[c] == nil {
+			return nil, fmt.Errorf("%w: resume point %d needs prefix aggregates for %d cells, got %d", ErrInput, from, replayed, len(prefix))
+		}
+	}
 	sched := &cellScheduler{
-		n:       len(sw.cellSpecs),
+		n:       n,
 		workers: sw.spec.CellWorkers,
+		first:   fromCell,
 		admit:   sw.compileCell,
 		run: func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			if cell == fromCell && fromTrial > 0 {
+				// Clone so a preempt-resume cycle can replay the same
+				// prefix fold again without the first attempt's tail in it.
+				return sw.cells[cell].RunFrom(ctx, fromTrial, prefix[cell].Clone(), deliver)
+			}
 			return sw.cells[cell].Run(ctx, deliver)
 		},
 		wrap: func(cell int, err error) error {
@@ -336,6 +375,15 @@ func (sw *Sweep) Run(ctx context.Context, onResult func(CellResult)) ([]CellSumm
 	}
 	summaries := make([]CellSummary, len(aggs))
 	for i, agg := range aggs {
+		if agg == nil {
+			// Cell fully replayed from the journal: its aggregate is the
+			// prefix fold, identical to what the live run produced.
+			summary, err := prefix[i].Summary()
+			if err != nil {
+				return nil, fmt.Errorf("cell %d (%s): replayed aggregate: %w", i, cellName(sw.cellSpecs[i]), err)
+			}
+			agg = &Aggregate{Completed: prefix[i].N(), Rounds: summary}
+		}
 		summaries[i] = cellSummary(i, sw.cellSpecs[i], agg)
 	}
 	return summaries, nil

@@ -61,6 +61,18 @@ func (o *Online) Add(x float64) {
 // N returns the number of observations so far.
 func (o *Online) N() int { return o.n }
 
+// Clone returns an independent copy of the accumulator: folding the same
+// further observations into the copy and into the original yields
+// identical state. Online holds no reference fields (the P² estimators
+// use fixed-size arrays), so a value copy is a deep copy. The batch
+// resume path clones a replayed prefix fold and continues it, so a
+// resumed campaign's final aggregate is bit-identical to the
+// uninterrupted run's.
+func (o *Online) Clone() *Online {
+	c := *o
+	return &c
+}
+
 // Summary renders the accumulated state. It can be called at any time;
 // the accumulator remains usable afterwards.
 func (o *Online) Summary() (Summary, error) {

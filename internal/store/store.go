@@ -27,16 +27,27 @@
 // terminal record is fsynced before the journal closes, so a finished
 // job's results and aggregate survive any later crash. Between commit
 // boundaries a crash may lose buffered result lines — harmless, because
-// an unterminated journal is recovered by re-running its job, and the
-// campaign determinism contract (see internal/batch) makes the re-run
-// byte-identical to the lost one. A torn final line (crash mid-write) is
-// detected and ignored on recovery for the same reason.
+// the complete lines that did reach disk are a committed prefix of the
+// result stream, and the campaign determinism contract (see
+// internal/batch) guarantees the job's re-run reproduces exactly that
+// prefix before computing the tail. ResumeAt is the recovery entry
+// point for unterminated journals: it keeps the committed prefix,
+// truncates any torn final line (crash mid-write), and positions an
+// append handle after the last complete record, so recovery replays the
+// prefix from disk and re-executes only the uncommitted tail.
+//
+// Every journal line is bounded by maxLine on both sides: Append rejects
+// oversized records with a sticky error, and the recovery scan fails a
+// journal whose lines exceed the bound instead of buffering them — a
+// corrupt or adversarial journal cannot make recovery allocate without
+// limit.
 package store
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -52,10 +63,20 @@ const (
 	Version = 1
 	// ext is the journal filename extension.
 	ext = ".ndjson"
-	// maxLine bounds a single journal line on read (result records are a
-	// few hundred bytes; headers carry a spec, still well under this).
+	// corruptExt is appended to a quarantined journal's filename; the
+	// recovery scan skips quarantined files (they no longer end in ext).
+	corruptExt = ".corrupt"
+	// maxLine bounds a single journal line, enforced on both write
+	// (Append rejects longer records) and read (readLine fails instead of
+	// buffering more) — result records are a few hundred bytes and
+	// headers carry a spec, both well under this.
 	maxLine = 1 << 20
 )
+
+// errLineTooLong marks a journal line exceeding maxLine: the scan stops
+// buffering at the bound, so a corrupt or adversarial journal cannot
+// exhaust memory during recovery.
+var errLineTooLong = errors.New("store: journal line exceeds the line limit")
 
 // Kind discriminates the job type a journal belongs to.
 type Kind string
@@ -167,10 +188,17 @@ func (s *Store) Create(h Header) (*Journal, error) {
 }
 
 // Append buffers one NDJSON record (json.Marshal output, no trailing
-// newline — Append adds it). Errors are sticky: after the first failure
-// every later Append/Commit/Finish returns it without writing.
+// newline — Append adds it). Records must fit the journal line limit: an
+// oversized record fails without being written, so the scan-side bound
+// never encounters a line this package produced. Errors are sticky:
+// after the first failure every later Append/Commit/Finish returns it
+// without writing.
 func (j *Journal) Append(record []byte) error {
 	if j.err != nil {
+		return j.err
+	}
+	if len(record) >= maxLine {
+		j.err = fmt.Errorf("store: append: record of %d bytes exceeds the %d-byte journal line limit", len(record), maxLine)
 		return j.err
 	}
 	if _, err := j.w.Write(record); err != nil {
@@ -246,36 +274,95 @@ func (j *Journal) Close() error {
 }
 
 // Reset truncates a recovered journal back to its header, returning an
-// append handle positioned for the job's re-run. A crash during or after
-// Reset leaves the journal unterminated, so the job is simply requeued
-// again on the next recovery.
+// append handle positioned for the job's re-run from trial 0. It is the
+// fallback when the committed prefix is unusable (see ResumeAt, which
+// keeps the prefix); a crash during or after Reset leaves the journal
+// unterminated, so the job is simply requeued again on the next
+// recovery.
 func (s *Store) Reset(id string) (*Journal, error) {
+	j, _, err := s.reopen(id, "reset", false)
+	return j, err
+}
+
+// ResumeAt opens an interrupted journal for resumption: it scans the
+// committed result lines, truncates any torn final line (crash
+// mid-append), and returns an append handle positioned after the last
+// complete record, plus the committed result count. The caller replays
+// those records from disk (Results) and re-executes only the tail — the
+// committed prefix is never recomputed. A journal that already carries a
+// terminal record, or whose lines are oversized or header unreadable, is
+// an error: finished journals are never resumed, and a corrupt prefix
+// falls back to Reset.
+func (s *Store) ResumeAt(id string) (*Journal, int, error) {
+	return s.reopen(id, "resume", true)
+}
+
+// reopen is the shared Reset/ResumeAt implementation: it validates the
+// header, finds the keep boundary (after the header, or after the last
+// complete result line when keepResults is set), truncates everything
+// past it, and returns an append handle positioned there.
+func (s *Store) reopen(id, op string, keepResults bool) (*Journal, int, error) {
 	if !validID(id) {
-		return nil, fmt.Errorf("store: invalid job id %q", id)
+		return nil, 0, fmt.Errorf("store: invalid job id %q", id)
 	}
 	f, err := os.OpenFile(s.path(id), os.O_RDWR, 0)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, 0, fmt.Errorf("store: %w", err)
 	}
-	header, err := bufio.NewReaderSize(f, maxLine).ReadBytes('\n')
+	fail := func(err error) (*Journal, int, error) {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: %s %s: %w", op, id, err)
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	header, err := readLine(br)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reset %s: unreadable header: %w", id, err)
+		return fail(fmt.Errorf("unreadable header: %w", err))
 	}
-	off := int64(len(header))
+	var h Header
+	if err := json.Unmarshal(header, &h); err != nil || h.Journal != Magic || h.ID != id || h.Version > Version {
+		return fail(fmt.Errorf("bad header %.80q", header))
+	}
+	off := int64(len(header)) + 1
+	count := 0
+	if keepResults {
+		for {
+			line, err := readLine(br)
+			if err == errLineTooLong {
+				return fail(fmt.Errorf("result line exceeds %d bytes", maxLine))
+			}
+			if err != nil {
+				break // clean end or torn tail: the committed prefix ends here
+			}
+			if _, ok := terminalRecord(line); ok {
+				return fail(fmt.Errorf("journal already finished"))
+			}
+			count++
+			off += int64(len(line)) + 1
+		}
+	}
 	if err := f.Truncate(off); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+		return fail(err)
 	}
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reset %s: %w", id, err)
+		return fail(err)
 	}
-	return &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, count, nil
+}
+
+// Quarantine renames an unusable journal to <id>.ndjson.corrupt: later
+// recovery scans skip it (and stop paying to parse it), while the file
+// stays on disk for the operator to inspect or delete.
+func (s *Store) Quarantine(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	if err := os.Rename(s.path(id), s.path(id)+corruptExt); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // Remove deletes a job's journal (used to roll back a journal whose
@@ -332,7 +419,7 @@ func (s *Store) scan(id string) Recovered {
 		return rec
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, maxLine)
+	br := bufio.NewReaderSize(f, 64<<10)
 
 	header, err := readLine(br)
 	if err != nil {
@@ -348,6 +435,13 @@ func (s *Store) scan(id string) Recovered {
 
 	for {
 		line, err := readLine(br)
+		if err == errLineTooLong {
+			// A line past the bound is corruption, not a torn tail: report
+			// it so the caller can quarantine the file instead of treating
+			// the truncated scan as a committed prefix.
+			rec.Err = fmt.Errorf("store: journal %s: line exceeds %d bytes", id, maxLine)
+			return rec
+		}
 		if err != nil {
 			// io.EOF with no data, or a torn final line: either way the
 			// committed journal ends here.
@@ -363,13 +457,33 @@ func (s *Store) scan(id string) Recovered {
 
 // readLine returns the next complete (newline-terminated) line without
 // its newline; a partial line at EOF is reported as an error so torn
-// tails are never mistaken for committed records.
+// tails are never mistaken for committed records. Lines longer than
+// maxLine fail with errLineTooLong before being buffered whole — unlike
+// bufio.ReadBytes, which allocates without bound — so scanning a corrupt
+// journal cannot OOM recovery. The returned slice may alias the reader's
+// buffer (capacity capped, so appends copy) and is valid until the next
+// read.
 func readLine(br *bufio.Reader) ([]byte, error) {
-	line, err := br.ReadBytes('\n')
-	if err != nil {
-		return nil, err
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(line)+len(chunk) > maxLine {
+			return nil, errLineTooLong
+		}
+		if line == nil && err == nil {
+			// Whole line inside the buffer: no copy needed.
+			return chunk[: len(chunk)-1 : len(chunk)-1], nil
+		}
+		line = append(line, chunk...)
+		switch err {
+		case nil:
+			return line[:len(line)-1], nil
+		case bufio.ErrBufferFull:
+			continue // line spans buffer fills; keep accumulating
+		default:
+			return nil, err // io.EOF (torn tail) or a real I/O fault
+		}
 	}
-	return line[:len(line)-1], nil
 }
 
 // terminalRecord reports whether a journal line is the terminal record.
@@ -408,7 +522,7 @@ func (s *Store) Results(id string) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	br := bufio.NewReaderSize(f, maxLine)
+	br := bufio.NewReaderSize(f, 64<<10)
 	if _, err := readLine(br); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: journal %s: unreadable header: %w", id, err)
@@ -425,9 +539,8 @@ func (r *Results) Next() bool {
 	line, err := readLine(r.br)
 	if err != nil {
 		if err != io.EOF {
-			// A torn tail surfaces as ErrUnexpectedEOF-style partial reads
-			// only through ReadBytes' io.EOF with data, which readLine
-			// already folds into err — any other error is a real I/O fault.
+			// readLine folds a torn tail into io.EOF; anything else is a
+			// real fault — an I/O error, or an oversized (corrupt) line.
 			r.err = err
 		}
 		r.done = true
