@@ -59,6 +59,25 @@
 // -data is set), and truncated results streams carry the
 // X-Cobrad-Stream: aborted trailer (complete streams say "complete").
 //
+// Observability (all observe-only — nothing feeds back into scheduling
+// or results):
+//
+//	GET /metrics                    Prometheus text exposition: trials,
+//	                                rounds by representation, queue depth
+//	                                by priority band, admission-wait and
+//	                                per-cell wall-time histograms, graph
+//	                                cache hits/misses/evictions, journal
+//	                                appends/fsync latency/quarantines,
+//	                                resume-tail sizes, live event streams
+//	GET /v1/stats                   the same counters as one JSON object
+//	GET /v1/campaigns/{id}/events   per-job lifecycle as server-sent
+//	GET /v1/sweeps/{id}/events      events (state, cell phases, end)
+//
+// Logs are structured (log/slog) with job ids and states as fields;
+// -log-format selects text (default) or json lines on stderr. -watch
+// turns cobrad into a client: it polls a running server's /v1/stats and
+// job listings every -interval and renders a status table to stdout.
+//
 // Campaigns are deterministic in (graph, process config, seed, trial),
 // and every sweep cell is byte-identical to the same spec submitted as a
 // standalone campaign: resubmitting either — here or through the library
@@ -72,7 +91,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -85,7 +104,7 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "listen address (with -watch: the server to poll)")
 		campaigns   = flag.Int("campaigns", 2, "campaigns running concurrently")
 		cellWorkers = flag.Int("cell-workers", 2, "concurrent cells per sweep when a sweep spec leaves cell_workers unset (never affects results)")
 		queue       = flag.Int("queue", 64, "queued-campaign backlog before 503s")
@@ -95,8 +114,28 @@ func main() {
 		retain      = flag.Int("retain", 256, "with -data: finished jobs keeping per-trial results in RAM; older jobs serve results from their journals (negative: unlimited)")
 		retainTTL   = flag.Duration("retain-ttl", 0, "with -data: additionally evict a finished job's in-RAM results after this long (0: no TTL)")
 		preempt     = flag.Bool("preempt", false, "let higher-priority submissions checkpoint the lowest-priority running job at a trial boundary and requeue it; it later resumes from the checkpoint with byte-identical results")
+		logFormat   = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+		watch       = flag.Bool("watch", false, "client mode: poll the server at -addr and render a live status table instead of serving")
+		interval    = flag.Duration("interval", 2*time.Second, "with -watch: polling interval")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cobrad:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
+	if *watch {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runWatch(ctx, os.Stdout, watchBaseURL(*addr), *interval, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "cobrad:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var st batch.Store
 	if *dataDir != "" {
@@ -116,6 +155,7 @@ func main() {
 		RetainResults:   *retain,
 		RetainTTL:       *retainTTL,
 		Preempt:         *preempt,
+		Logger:          logger,
 	}, st)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cobrad: recover job store:", err)
@@ -133,14 +173,15 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
 	if *dataDir != "" {
-		log.Printf("cobrad: job store at %s (retain %d, ttl %s)", *dataDir, *retain, *retainTTL)
+		logger.Info("job store open", "dir", *dataDir, "retain", *retain, "ttl", *retainTTL)
 	}
-	log.Printf("cobrad: listening on %s (campaign workers %d, cell workers %d, queue %d, graph cache %d)",
-		*addr, *campaigns, *cellWorkers, *queue, *cacheSize)
+	logger.Info("listening",
+		"addr", *addr, "campaign_workers", *campaigns, "cell_workers", *cellWorkers,
+		"queue", *queue, "graph_cache", *cacheSize)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("cobrad: shutting down")
+		logger.Info("shutting down")
 		// Close the service before draining HTTP: Shutdown waits for
 		// in-flight handlers, and a client following a running job's
 		// results only unblocks when the service aborts its jobs and
@@ -151,7 +192,7 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("cobrad: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -159,5 +200,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cobrad:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// newLogger builds the process logger for -log-format: line-oriented
+// text (the default) or JSON, both to stderr.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
 	}
 }

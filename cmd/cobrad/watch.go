@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Watch mode: `cobrad -watch -addr host:8080` polls a running cobrad and
+// renders a status frame per interval — one line of process counters
+// from /v1/stats, then a table with one row per job from the campaign
+// and sweep listings. It is a plain read-side client of the public API:
+// attaching a watcher cannot perturb the server (the observe-only
+// contract) any more than any other poller.
+
+// watchBaseURL normalizes -addr into a base URL: ":8080" →
+// "http://localhost:8080", bare host:port gets an http:// scheme, and
+// full URLs pass through.
+func watchBaseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
+}
+
+// watchJob is the subset of a job listing row the table renders; it
+// decodes both campaign and sweep summaries.
+type watchJob struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Trials      int    `json:"trials"`
+	Completed   int    `json:"completed"`
+	Preemptions int    `json:"preemptions"`
+	Error       string `json:"error"`
+}
+
+// runWatch polls base every interval and writes one frame per poll to
+// out. iterations bounds the frame count for tests; 0 means poll until
+// ctx is done. The first frame renders immediately.
+func runWatch(ctx context.Context, out io.Writer, base string, interval time.Duration, iterations int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	frames := 0
+	for {
+		if err := watchFrame(ctx, client, out, base); err != nil {
+			return err
+		}
+		frames++
+		if iterations > 0 && frames >= iterations {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+func watchFrame(ctx context.Context, client *http.Client, out io.Writer, base string) error {
+	// RawMessage keys: /v1/stats mixes scalar counters with the nested
+	// queue_depth_by_band object, so numbers are picked out per key.
+	var stats map[string]json.RawMessage
+	if err := getJSON(ctx, client, base+"/v1/stats", &stats); err != nil {
+		return fmt.Errorf("poll %s/v1/stats: %w", base, err)
+	}
+	var campaigns struct {
+		Campaigns []watchJob `json:"campaigns"`
+	}
+	if err := getJSON(ctx, client, base+"/v1/campaigns", &campaigns); err != nil {
+		return fmt.Errorf("poll %s/v1/campaigns: %w", base, err)
+	}
+	var sweeps struct {
+		Sweeps []watchJob `json:"sweeps"`
+	}
+	if err := getJSON(ctx, client, base+"/v1/sweeps", &sweeps); err != nil {
+		return fmt.Errorf("poll %s/v1/sweeps: %w", base, err)
+	}
+
+	n := func(key string) string {
+		if v, ok := stats[key]; ok {
+			return strings.TrimSpace(string(v))
+		}
+		return "0"
+	}
+	fmt.Fprintf(out, "%s  trials=%s queued=%s running=%s preemptions=%s cache=%s/%s stalls=%s streams=%s\n",
+		base, n("trials_executed"), n("queue_depth"), n("jobs_running"), n("preemptions"),
+		n("cache_hits"), n("cache_misses"), n("backpressure_stalls"), n("event_streams"))
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tKIND\tSTATE\tPROGRESS\tPREEMPTS\tERROR")
+	rows := make([]watchRow, 0, len(campaigns.Campaigns)+len(sweeps.Sweeps))
+	for _, j := range campaigns.Campaigns {
+		rows = append(rows, watchRow{kind: "campaign", job: j})
+	}
+	for _, j := range sweeps.Sweeps {
+		rows = append(rows, watchRow{kind: "sweep", job: j})
+	}
+	// Listings are already submission-ordered per kind; interleave by id
+	// number so the combined table follows the shared id counter.
+	sort.SliceStable(rows, func(i, k int) bool {
+		return rows[i].job.ID[1:] < rows[k].job.ID[1:]
+	})
+	for _, row := range rows {
+		j := row.job
+		errMsg := j.Error
+		if len(errMsg) > 40 {
+			errMsg = errMsg[:37] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%s\n",
+			j.ID, row.kind, j.State, j.Completed, j.Trials, j.Preemptions, errMsg)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(out)
+	return err
+}
+
+type watchRow struct {
+	kind string
+	job  watchJob
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

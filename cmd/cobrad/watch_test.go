@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/repro/cobra/internal/batch"
+)
+
+func TestWatchBaseURL(t *testing.T) {
+	cases := map[string]string{
+		":8080":                  "http://localhost:8080",
+		"example.com:9999":       "http://example.com:9999",
+		"http://example.com/":    "http://example.com",
+		"https://example.com:80": "https://example.com:80",
+	}
+	for in, want := range cases {
+		if got := watchBaseURL(in); got != want {
+			t.Errorf("watchBaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWatchRendersFrame(t *testing.T) {
+	svc := batch.NewServer(batch.ServerConfig{})
+	ts := httptest.NewServer(svc)
+	defer func() { ts.Close(); svc.Close() }()
+
+	spec := map[string]any{
+		"graph": "ba:400:3", "process": "cobra", "branch": 2, "trials": 20, "seed": 7,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := sub["id"]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(st.Body).Decode(&got)
+		st.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("campaign state %q", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var out bytes.Buffer
+	if err := runWatch(context.Background(), &out, ts.URL, time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{"trials=20", id, "campaign", "done", "20/20", "ID"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+func TestWatchUnreachableServer(t *testing.T) {
+	var out bytes.Buffer
+	err := runWatch(context.Background(), &out, "http://127.0.0.1:1", time.Second, 1)
+	if err == nil {
+		t.Fatal("watch of an unreachable server returned nil")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Fatalf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Fatal("newLogger accepted an unknown format")
+	}
+}

@@ -1,0 +1,27 @@
+// Command promlint validates Prometheus text exposition format 0.0.4 on
+// stdin — the checker behind CI's metrics smoke:
+//
+//	curl -s localhost:8080/metrics | promlint
+//
+// It exits 0 when the input parses as a well-formed exposition (HELP
+// before TYPE, valid metric and label names, histogram bucket series
+// cumulative and closed by le="+Inf" matching _count, no duplicate
+// samples) and 1 with the first violation on stderr otherwise. The
+// checks live in internal/obs (Lint), which the obs package's own tests
+// run against every registry's output.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/repro/cobra/internal/obs"
+)
+
+func main() {
+	if err := obs.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

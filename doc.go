@@ -138,6 +138,31 @@
 // "complete"). Finished jobs' in-RAM result slices are bounded
 // (-retain/-retain-ttl); evicted jobs serve results from their journals.
 //
+// # Observability
+//
+// cobrad exposes its internals without perturbing them. GET /metrics
+// serves Prometheus text exposition (internal/obs, a dependency-free
+// registry) covering every layer: job scheduler (queue depth by priority
+// band, admission-wait latency, preemptions), sweep cell scheduler
+// (per-cell wall time, reorder-buffer occupancy, backpressure stalls),
+// graph cache (hits/misses/evictions), engine (trials executed, rounds
+// by sparse/dense representation), and journal store (appends, fsync
+// latency, resume-tail sizes, quarantines). GET /v1/stats returns the
+// same counters as one JSON object; GET /v1/{campaigns,sweeps}/{id}/
+// events streams a job's lifecycle as server-sent events (state
+// transitions with rolling aggregates, per-cell phase changes, and a
+// final end event mirroring the X-Cobrad-Stream trailer). Logs are
+// structured (log/slog, -log-format text|json) with job ids and states
+// as fields, and `cobrad -watch` renders a polling terminal status
+// table against a running server.
+//
+// The observe-only invariant: metrics are atomic instruments updated
+// beside the hot path, event streams are read-side followers of the
+// same notification channel the results streams use, and nothing ever
+// feeds back into scheduling or results — the determinism, conformance,
+// and resume byte-identity suites hold with and without observers
+// attached.
+//
 // # Quick start
 //
 //	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7

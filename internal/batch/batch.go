@@ -63,6 +63,24 @@
 // shutdown is distinguishable from a complete one by the X-Cobrad-Stream
 // trailer. service_shutdown_test.go and service_persist_test.go enforce
 // every clause under the race detector.
+//
+// # Observability (observe-only)
+//
+// The service instruments every layer through internal/obs (metrics.go):
+// scheduler queue depth by priority band, admission-wait and per-cell
+// wall-time histograms, reorder-buffer occupancy, backpressure stalls,
+// graph-cache hit rates, trials and rounds by frontier representation,
+// and the store's append/fsync/quarantine/resume-tail counters — served
+// at GET /metrics (Prometheus text exposition) and, as one flat JSON
+// object, at GET /v1/stats. Per-job server-sent event streams
+// (events.go) follow a job's lifecycle live. The invariant: instruments
+// are atomic updates beside the hot path and event streams are read-side
+// followers of the per-job notify channel; nothing observable ever feeds
+// back into scheduling or results. Library users of Campaign.Run /
+// Sweep.Run carry nil instruments (every obs method is nil-receiver
+// safe) and take the exact same schedule and bytes — the conformance
+// suites compare the two paths directly, and service_obs_test.go hammers
+// scrapers and followers against running sweeps under the race detector.
 package batch
 
 import (

@@ -23,6 +23,7 @@ type Cache struct {
 	ll           *list.List // front = most recently used
 	m            map[string]*list.Element
 	hits, misses int64
+	evictions    int64
 }
 
 type cacheEntry struct {
@@ -99,6 +100,7 @@ func (c *Cache) evictLocked() {
 		case <-e.ready:
 			c.ll.Remove(el)
 			delete(c.m, e.key)
+			c.evictions++
 		default: // still building; leave it
 		}
 		el = prev
@@ -110,4 +112,12 @@ func (c *Cache) Stats() (hits, misses int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// Evictions returns how many completed entries capacity pressure has
+// removed (failed builds cleaned out of the cache do not count).
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"github.com/repro/cobra/internal/obs"
 )
 
 // The sweep cell scheduler: a two-level scheduler that runs a sweep's
@@ -96,6 +99,13 @@ type cellScheduler struct {
 	// from the admission goroutine, CellDone from the committer. Calls for
 	// one cell are ordered; calls for different cells may be concurrent.
 	onPhase func(cell int, phase CellPhase)
+	// Observe-only instruments (nil = no-op; the obs instruments are
+	// nil-receiver safe). None of them feeds back into scheduling: the
+	// schedule, admission order, and delivered stream are identical with
+	// and without them.
+	stalls   *obs.Counter   // admitter blocked on a full admission window
+	reorder  *obs.Gauge     // cells holding buffered out-of-order events
+	cellWall *obs.Histogram // per-cell wall seconds on a worker
 }
 
 // cellEvent is one message from a worker to the committer: a trial result
@@ -159,8 +169,16 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 		for c := cs.first; c < cs.n; c++ {
 			select {
 			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return
+			default:
+				// The window is full: every slot is held by an uncommitted
+				// cell, so admission (and graph compilation) waits on a
+				// commit. Counted, then the blocking wait proceeds as before.
+				cs.stalls.Inc()
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
 			}
 			err := cs.admit(c)
 			if err == nil {
@@ -193,9 +211,11 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 					events <- cellEvent{cell: task.cell, done: true, err: task.err}
 					continue
 				}
+				start := time.Now()
 				agg, err := cs.run(ctx, task.cell, func(r TrialResult) {
 					events <- cellEvent{cell: task.cell, res: r}
 				})
+				cs.cellWall.Observe(time.Since(start).Seconds())
 				events <- cellEvent{cell: task.cell, done: true, agg: agg, err: err}
 			}
 		}()
@@ -226,6 +246,7 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 		if p == nil {
 			p = &pendingCell{}
 			pend[ev.cell] = p
+			cs.reorder.Add(1)
 		}
 		if ev.done {
 			p.done, p.agg, p.err = true, ev.agg, ev.err
@@ -239,6 +260,7 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 				break
 			}
 			delete(pend, next)
+			cs.reorder.Add(-1)
 			if p.err != nil {
 				firstErr = cs.wrap(next, p.err)
 				cs.phase(next, CellFailed)
@@ -261,6 +283,9 @@ func (cs *cellScheduler) execute(ctx context.Context, onResult func(CellResult))
 			}
 		}
 	}
+	// A cancelled or failed schedule leaves undrained reorder entries;
+	// release their gauge contribution so it tracks live buffers only.
+	cs.reorder.Add(int64(-len(pend)))
 	if firstErr != nil {
 		return nil, firstErr
 	}

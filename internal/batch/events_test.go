@@ -1,0 +1,270 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The SSE event-stream suite: followers of /v1/{campaigns,sweeps}/{id}/
+// events must see a well-formed event sequence ending in exactly one
+// "end" event, must observe the job's terminal state even when the job
+// is aborted by Server.Close (not just lose the connection), and must
+// never perturb the job they watch (streams are observe-only).
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes an event stream to EOF, returning the events in order.
+func readSSE(t *testing.T, ts *httptest.Server, path string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: content type %q", ct)
+	}
+	return parseSSE(t, bufio.NewScanner(resp.Body))
+}
+
+func parseSSE(t *testing.T, sc *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	cur := sseEvent{}
+	flush := func() {
+		if cur.name != "" || cur.data != "" {
+			events = append(events, cur)
+		}
+		cur = sseEvent{}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			flush()
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("malformed SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+	return events
+}
+
+// checkEnd asserts the stream's shape: at least one state event, exactly
+// one end event, and the end event last with the wanted verdict. It
+// returns the last state payload.
+func checkEnd(t *testing.T, events []sseEvent, verdict string) eventState {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	ends := 0
+	var last eventState
+	seenState := false
+	for i, ev := range events {
+		switch ev.name {
+		case "end":
+			ends++
+			if i != len(events)-1 {
+				t.Fatalf("end event at %d of %d, not last", i, len(events))
+			}
+			if ev.data != verdict {
+				t.Fatalf("end verdict %q, want %q", ev.data, verdict)
+			}
+		case "state":
+			if err := json.Unmarshal([]byte(ev.data), &last); err != nil {
+				t.Fatalf("bad state payload %q: %v", ev.data, err)
+			}
+			seenState = true
+		case "cell":
+			var c eventCell
+			if err := json.Unmarshal([]byte(ev.data), &c); err != nil {
+				t.Fatalf("bad cell payload %q: %v", ev.data, err)
+			}
+		default:
+			t.Fatalf("unknown event %q", ev.name)
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("%d end events, want 1", ends)
+	}
+	if !seenState {
+		t.Fatal("no state event before end")
+	}
+	return last
+}
+
+// A follower attached before the campaign finishes sees state progress
+// ending in the terminal state, then end: complete — and the watched
+// job's results are untouched by being watched.
+func TestEventsCampaignLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{CampaignWorkers: 1})
+	spec := testSpec()
+	spec.Trials = 200
+	id := postCampaign(t, ts, spec)
+
+	events := readSSE(t, ts, "/v1/campaigns/"+id+"/events")
+	last := checkEnd(t, events, StreamComplete)
+	if last.State != StateDone {
+		t.Fatalf("final state event %q, want done", last.State)
+	}
+	if last.Completed != spec.Trials || last.Trials != spec.Trials {
+		t.Fatalf("final counts %d/%d, want %d/%d",
+			last.Completed, last.Trials, spec.Trials, spec.Trials)
+	}
+	if last.MeanRounds <= 0 {
+		t.Fatalf("final mean_rounds %v, want > 0", last.MeanRounds)
+	}
+	if got := fetchResults(t, ts, id); len(got) != spec.Trials {
+		t.Fatalf("results after watching: %d trials, want %d", len(got), spec.Trials)
+	}
+}
+
+// A follower of a finished job still gets a valid stream: the terminal
+// state snapshot and end: complete, immediately.
+func TestEventsAfterTerminal(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	id := postCampaign(t, ts, testSpec())
+	awaitState(t, ts, id, StateDone)
+	last := checkEnd(t, readSSE(t, ts, "/v1/campaigns/"+id+"/events"), StreamComplete)
+	if last.State != StateDone {
+		t.Fatalf("state %q, want done", last.State)
+	}
+}
+
+// Sweep followers additionally see per-cell phase events; every cell's
+// last observed phase must be done on a successful sweep.
+func TestEventsSweepCellPhases(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{CellWorkers: 2})
+	spec := testSweepSpec()
+	id := postSweep(t, ts, spec)
+
+	events := readSSE(t, ts, "/v1/sweeps/"+id+"/events")
+	last := checkEnd(t, events, StreamComplete)
+	if last.State != StateDone {
+		t.Fatalf("final state %q, want done", last.State)
+	}
+	cells := len(spec.Cells())
+	if want := cells * spec.Trials; last.Completed != want || last.Trials != want {
+		t.Fatalf("final counts %d/%d, want %d/%d", last.Completed, last.Trials, want, want)
+	}
+	phase := make(map[int]CellPhase)
+	for _, ev := range events {
+		if ev.name != "cell" {
+			continue
+		}
+		var c eventCell
+		if err := json.Unmarshal([]byte(ev.data), &c); err != nil {
+			t.Fatal(err)
+		}
+		phase[c.Cell] = c.Phase
+	}
+	if len(phase) != cells {
+		t.Fatalf("cell events for %d cells, want %d", len(phase), cells)
+	}
+	for cell, ph := range phase {
+		if ph != CellDone {
+			t.Fatalf("cell %d last phase %q, want done", cell, ph)
+		}
+	}
+}
+
+func TestEventsUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/v1/campaigns/c999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// The shutdown contract for event streams: a follower of a job aborted
+// by Server.Close observes the terminal "failed" state event and the end
+// event — the stream resolves the job's fate rather than dropping — and
+// no handler goroutines are left behind.
+func TestEventsShutdownDeliversTerminal(t *testing.T) {
+	http.DefaultClient.CloseIdleConnections()
+	time.Sleep(20 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	svc := NewServer(ServerConfig{CampaignWorkers: 1})
+	ts := httptest.NewServer(svc)
+	id := postCampaign(t, ts, longSpec())
+	awaitStateRaw(t, ts, id, StateRunning)
+
+	type result struct {
+		events []sseEvent
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/events")
+		if err != nil {
+			got <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		got <- result{events: parseSSE(t, bufio.NewScanner(resp.Body))}
+	}()
+
+	// Let the follower attach (its gauge registers) before shutdown.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.met.eventStreams.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	svc.Close()
+
+	var res result
+	select {
+	case res = <-got:
+	case <-time.After(30 * time.Second):
+		t.Fatal("event stream did not resolve after Close")
+	}
+	ts.Close()
+	if res.events == nil {
+		t.Fatal("event stream request failed")
+	}
+	last := checkEnd(t, res.events, StreamComplete)
+	if last.State != StateFailed {
+		t.Fatalf("terminal state %q, want failed", last.State)
+	}
+
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d > %d after Close:\n%s",
+				runtime.NumGoroutine(), before+2, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

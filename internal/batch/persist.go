@@ -3,7 +3,6 @@ package batch
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"sort"
 	"strconv"
 	"time"
@@ -337,11 +336,13 @@ func (s *Server) recoveredJob(rec store.Recovered, priority int, deadline string
 		deadline: dl,
 		seq:      s.seq,
 	}
+	job.queuedAt = time.Now() // admission wait restarts at recovery
 	n := 0
 	if rec.Terminal == nil {
 		j, cnt, err := s.store.ResumeAt(job.id)
 		if err != nil {
-			log.Printf("cobrad: journal %s: resume scan failed: %v; re-running from scratch", job.id, err)
+			s.log().Warn("resume scan failed; re-running from scratch",
+				"job", job.id, "err", err)
 			if j, err = s.store.Reset(job.id); err != nil {
 				return nil, 0, err
 			}
@@ -435,7 +436,8 @@ func (s *Server) replaySweep(job *Job, n int) error {
 // truncated back to its header, RAM state cleared, and the job re-runs
 // from trial 0 — the pre-resume recovery behavior, kept as the fallback.
 func (s *Server) resetForRerun(job *Job, cause error) error {
-	log.Printf("cobrad: journal %s: cannot resume from committed prefix: %v; re-running from scratch", job.id, cause)
+	s.log().Warn("cannot resume from committed prefix; re-running from scratch",
+		"job", job.id, "err", cause)
 	job.sink.interrupt()
 	job.sink = nil
 	j, err := s.store.Reset(job.id)
@@ -459,9 +461,10 @@ func (s *Server) resetForRerun(job *Job, cause error) error {
 // once; the renamed <id>.ndjson.corrupt file stays on disk for the
 // operator, and later startup scans no longer pay to parse it.
 func (s *Server) quarantine(id string, cause error) {
-	log.Printf("cobrad: journal %s unusable: %v; quarantining as %s%s.corrupt", id, cause, id, ".ndjson")
+	s.log().Warn("journal unusable; quarantining",
+		"job", id, "err", cause, "corrupt", id+".ndjson.corrupt")
 	if err := s.store.Quarantine(id); err != nil {
-		log.Printf("cobrad: quarantine journal %s: %v", id, err)
+		s.log().Error("quarantine journal failed", "job", id, "err", err)
 	}
 }
 
@@ -480,7 +483,8 @@ func (s *Server) reopenSink(job *Job) {
 	}
 	j, n, err := s.store.ResumeAt(job.id)
 	if err != nil {
-		log.Printf("cobrad: job %s: reopen journal for resume: %v; continuing without persistence", job.id, err)
+		s.log().Warn("reopen journal for resume failed; continuing without persistence",
+			"job", job.id, "err", err)
 		return
 	}
 	job.sink = newJournalSink(j)

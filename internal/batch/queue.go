@@ -71,6 +71,26 @@ func (q *jobQueue) close() {
 	q.mu.Unlock()
 }
 
+// size reports the current backlog (scrape-time gauge source).
+func (q *jobQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// depths reports the queued-job count per priority band — the source for
+// the per-band queue-depth gauges and /v1/stats. Priority is immutable
+// after submission, so walking the heap slice under the lock is exact.
+func (q *jobQueue) depths() map[int]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := make(map[int]int, 4)
+	for _, j := range q.items {
+		m[j.priority]++
+	}
+	return m
+}
+
 // drain removes and returns every queued job in pop (priority) order;
 // the shutdown path marks them aborted so watchers observe a terminal
 // state.

@@ -4,11 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/repro/cobra/internal/stats"
@@ -33,6 +33,11 @@ import (
 //	                              campaign until it finishes); the
 //	                              X-Cobrad-Stream trailer says whether the
 //	                              stream is complete or was aborted
+//	GET  /v1/campaigns/{id}/events  live job lifecycle as server-sent
+//	                              events: state transitions, progress with
+//	                              rolling aggregates, and a final "end"
+//	                              event (complete|aborted, mirroring the
+//	                              results trailer contract) — see events.go
 //	POST /v1/sweeps               submit a SweepSpec; 202 + {id, ...};
 //	                              same ?priority=/?deadline= parameters
 //	GET  /v1/sweeps               list sweep summaries
@@ -40,11 +45,29 @@ import (
 //	                              scheduler phases (queued/running/done/failed)
 //	GET  /v1/sweeps/{id}/results  per-cell trial results as NDJSON in
 //	                              (cell, trial) order, streamed live
+//	GET  /v1/sweeps/{id}/events   the sweep twin of campaign /events, plus
+//	                              per-cell phase-change events
 //	GET  /v1/sweeps/{id}/table    cross-cell summary grid (header + rows)
-//	GET  /v1/stats                process counters: trials_executed (this
-//	                              process only — journal replay excluded),
-//	                              preemptions, graph-cache hits/misses/size
+//	GET  /v1/stats                process counters as one JSON object:
+//	                              trials_executed (this process only —
+//	                              journal replay excluded), preemptions,
+//	                              queue depth (total and by band), cache
+//	                              hits/misses/evictions/size, journal
+//	                              appends/fsyncs/quarantines, running jobs,
+//	                              backpressure stalls — scrapeless parity
+//	                              with /metrics
+//	GET  /metrics                 the same counters (plus latency
+//	                              histograms) in Prometheus text exposition
+//	                              format (internal/obs)
 //	GET  /healthz                 liveness
+//
+// Observability is observe-only: every metric is an atomic instrument
+// updated beside the hot path, event streams are read-side followers of
+// the same per-job notify channel the results streams use, and nothing
+// ever feeds back into scheduling or results — the determinism and
+// byte-identity contracts hold with and without scrapers and followers
+// attached (the conformance suites compare the un-instrumented library
+// path against the instrumented HTTP path byte for byte).
 //
 // The determinism contract extends over the wire: a campaign submitted
 // over HTTP yields exactly the per-trial results and aggregates of
@@ -145,6 +168,11 @@ type ServerConfig struct {
 	// uninterrupted run (the campaign determinism contract). Off by
 	// default; never affects results, only when trials execute.
 	Preempt bool
+	// Logger receives the server's structured log records (recovery
+	// fallbacks, quarantines, resume reconciliation), each carrying the
+	// job id and context fields. nil uses slog.Default(), which cmd/cobrad
+	// configures from -log-format.
+	Logger *slog.Logger
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -181,6 +209,7 @@ type Job struct {
 	priority int       // queue ordering: higher first, ties by seq
 	deadline time.Time // zero = none; expired-in-queue jobs never run
 	seq      int       // global submission sequence (FIFO tie-break)
+	queuedAt time.Time // last time the job entered the queue (admission-wait metric)
 	sink     *journalSink
 
 	mu          sync.Mutex
@@ -307,11 +336,12 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	// trialsExec counts trials executed by this process — replayed journal
-	// records never increment it, so tests and the CI smoke can assert
-	// that a resumed job recomputed only its tail (/v1/stats).
-	trialsExec atomic.Int64
-	preempts   atomic.Int64 // checkpoint-and-requeue events (/v1/stats)
+	// met is the server's observe-only instrument set (metrics.go),
+	// serving /metrics and /v1/stats. met.trials counts trials executed by
+	// this process — replayed journal records never increment it, so tests
+	// and the CI smoke can assert that a resumed job recomputed only its
+	// tail.
+	met *serverMetrics
 
 	mu           sync.Mutex
 	jobs         map[string]*Job
@@ -358,15 +388,26 @@ func NewServerWith(cfg ServerConfig, st Store) (*Server, error) {
 		running: make(map[*Job]struct{}),
 		clock:   time.Now,
 	}
+	s.met = newServerMetrics(s)
 	s.mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
 	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("/v1/sweeps/", s.handleSweep)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", s.met.reg.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	if s.store != nil {
+		// Attach the journal instruments before recovery so replay and
+		// resume I/O (fsyncs, appends, quarantines) are observed too.
+		if sm, ok := st.(interface{ SetMetrics(store.Metrics) }); ok {
+			sm.SetMetrics(store.Metrics{
+				Appends:      s.met.journalAppends,
+				FsyncSeconds: s.met.fsync,
+				Quarantines:  s.met.quarantines,
+			})
+		}
 		if err := s.recoverJobs(); err != nil {
 			cancel()
 			return nil, err
@@ -383,32 +424,67 @@ func NewServerWith(cfg ServerConfig, st Store) (*Server, error) {
 	return s, nil
 }
 
-// handleStats serves GET /v1/stats: process-wide execution counters.
-// trials_executed counts trials computed by this process (journal replay
-// excluded), so after a restart it measures exactly the recomputed tail;
-// preemptions counts checkpoint-and-requeue events.
+// handleStats serves GET /v1/stats: process-wide execution counters as
+// one flat JSON object — parity with /metrics for scrapeless clients
+// (the watch mode, shell smokes). trials_executed counts trials computed
+// by this process (journal replay excluded), so after a restart it
+// measures exactly the recomputed tail; preemptions counts
+// checkpoint-and-requeue events. Both endpoints read the same
+// instruments, so cobrad_trials_executed_total always equals
+// trials_executed here (the CI metrics smoke asserts it).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	hits, misses, size := s.cache.Stats()
+	depths := s.queue.depths()
+	bands := make(map[string]int, len(depths))
+	queued := 0
+	for band, n := range depths {
+		bands[strconv.Itoa(band)] = n
+		queued += n
+	}
+	s.mu.Lock()
+	running := len(s.running)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"trials_executed": s.trialsExec.Load(),
-		"preemptions":     s.preempts.Load(),
-		"cache_hits":      hits,
-		"cache_misses":    misses,
-		"cache_size":      size,
+		"trials_executed":     s.met.trials.Value(),
+		"preemptions":         s.met.preempts.Value(),
+		"queue_depth":         queued,
+		"queue_depth_by_band": bands,
+		"jobs_running":        running,
+		"cache_hits":          hits,
+		"cache_misses":        misses,
+		"cache_evictions":     s.cache.Evictions(),
+		"cache_size":          size,
+		"journal_appends":     s.met.journalAppends.Value(),
+		"journal_fsyncs":      s.met.fsync.Count(),
+		"journal_quarantines": s.met.quarantines.Value(),
+		"backpressure_stalls": s.met.stalls.Value(),
+		"event_streams":       s.met.eventStreams.Value(),
+		"admission_waits":     s.met.admission.Count(),
+		"rounds_dense":        s.met.roundsDense.Value(),
+		"rounds_sparse":       s.met.roundsSparse.Value(),
 	})
 }
 
 // TrialsExecuted reports how many trials this process computed (replayed
 // journal records excluded) — the resume path's "no recomputation"
 // assertions key off it.
-func (s *Server) TrialsExecuted() int64 { return s.trialsExec.Load() }
+func (s *Server) TrialsExecuted() int64 { return s.met.trials.Value() }
 
 // Preemptions reports how many checkpoint-and-requeue events occurred.
-func (s *Server) Preemptions() int64 { return s.preempts.Load() }
+func (s *Server) Preemptions() int64 { return s.met.preempts.Value() }
+
+// log returns the server's structured logger (ServerConfig.Logger or the
+// process default).
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
+}
 
 // setClock overrides the retention time source (tests only).
 func (s *Server) setClock(now func() time.Time) {
@@ -477,6 +553,7 @@ func (s *Server) Close() {
 		}
 		job.bumpLocked()
 		job.mu.Unlock()
+		s.countTerminal(job, StateFailed)
 		job.sink.interrupt() // no terminal record: recovery requeues it
 	}
 }
@@ -522,6 +599,7 @@ func (s *Server) expireJob(job *Job) bool {
 	errMsg := job.errMsg
 	job.bumpLocked()
 	job.mu.Unlock()
+	s.countTerminal(job, StateExpired)
 	s.sealJob(job, StateExpired, 0, now, nil, errMsg)
 	return true
 }
@@ -545,8 +623,12 @@ func (s *Server) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = true
 	job.preempt = false
+	queuedAt := job.queuedAt
 	job.bumpLocked()
 	job.mu.Unlock()
+	if !queuedAt.IsZero() {
+		s.met.admission.Observe(time.Since(queuedAt).Seconds())
+	}
 
 	// A resumed job (preempted earlier, or recovered with its reopen
 	// deferred) has no sink: reopen the journal positioned after the
@@ -571,6 +653,7 @@ func (s *Server) runJob(job *Job) {
 		completed := job.completed
 		job.bumpLocked()
 		job.mu.Unlock()
+		s.countTerminal(job, StateFailed)
 		if shutdown {
 			job.sink.interrupt()
 			return
@@ -596,9 +679,14 @@ func (s *Server) runJob(job *Job) {
 	from := job.completed
 	online := job.online.Clone()
 	job.mu.Unlock()
+	if from > 0 {
+		s.met.resumeTail.Observe(float64(job.spec.Trials - from))
+	}
 	agg, err := campaign.RunFrom(runCtx, from, online, func(r TrialResult) {
 		job.sink.record(r)
-		s.trialsExec.Add(1)
+		s.met.trials.Inc()
+		s.met.roundsDense.Add(int64(r.DenseRounds))
+		s.met.roundsSparse.Add(int64(r.SparseRounds))
 		job.mu.Lock()
 		job.results = append(job.results, r)
 		job.completed++
@@ -630,6 +718,7 @@ func (s *Server) runJob(job *Job) {
 	completed := job.completed
 	job.bumpLocked()
 	job.mu.Unlock()
+	s.countTerminal(job, StateDone)
 	s.sealJob(job, StateDone, completed, now, agg, "")
 }
 
@@ -649,6 +738,7 @@ func (s *Server) requeuePreempted(job *Job, runCtx context.Context) bool {
 	job.preempt = false
 	job.preemptions++
 	job.state = StateQueued
+	job.queuedAt = time.Now()
 	if job.sweep != nil {
 		// Cells whose every trial was delivered are done; the rest wait
 		// for the resumed attempt (the head cell re-enters mid-campaign).
@@ -667,7 +757,7 @@ func (s *Server) requeuePreempted(job *Job, runCtx context.Context) bool {
 	// sees every delivered trial as committed prefix.
 	job.sink.interrupt()
 	job.sink = nil
-	s.preempts.Add(1)
+	s.met.preempts.Inc()
 	if !s.queue.push(job, true) {
 		// The queue closed during the preemption window: Close's drain ran
 		// (or will run) without this job, so terminalize it here exactly
@@ -681,6 +771,7 @@ func (s *Server) requeuePreempted(job *Job, runCtx context.Context) bool {
 		}
 		job.bumpLocked()
 		job.mu.Unlock()
+		s.countTerminal(job, StateFailed)
 	}
 	return true
 }
@@ -740,6 +831,11 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 		fail(err)
 		return
 	}
+	// Observe-only instruments for the cell scheduler; library callers of
+	// Sweep.Run leave these nil and take the exact same schedule.
+	sweep.stalls = s.met.stalls
+	sweep.reorder = s.met.reorder
+	sweep.cellWall = s.met.cellWall
 	sweep.OnCellPhase = func(cell int, phase CellPhase) {
 		job.mu.Lock()
 		job.cellPhases[cell] = phase
@@ -753,6 +849,9 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 		prefix[i] = o.Clone()
 	}
 	job.mu.Unlock()
+	if from > 0 {
+		s.met.resumeTail.Observe(float64(len(job.cellSpecs)*job.sweep.Trials - from))
+	}
 	lastCell := -1
 	cells, err := sweep.RunFrom(runCtx, from, prefix, func(r CellResult) {
 		if r.Cell != lastCell {
@@ -762,7 +861,9 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 			lastCell = r.Cell
 		}
 		job.sink.record(r)
-		s.trialsExec.Add(1)
+		s.met.trials.Inc()
+		s.met.roundsDense.Add(int64(r.DenseRounds))
+		s.met.roundsSparse.Add(int64(r.SparseRounds))
 		job.mu.Lock()
 		job.cellResults = append(job.cellResults, r)
 		job.completed++
@@ -804,6 +905,7 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 	completed := job.completed
 	job.bumpLocked()
 	job.mu.Unlock()
+	s.countTerminal(job, StateDone)
 	s.sealJob(job, StateDone, completed, now, cells, "")
 }
 
@@ -884,6 +986,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		deadline: deadline,
 		seq:      seq,
 	}
+	job.queuedAt = job.created
 
 	// The journal header must be durable before the 202: an acknowledged
 	// job is never forgotten by a crash.
@@ -955,6 +1058,8 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 	case "results":
 		s.streamResults(w, r, job)
+	case "events":
+		s.streamEvents(w, r, job)
 	default:
 		httpError(w, http.StatusNotFound, "unknown subresource "+sub)
 	}
@@ -1161,6 +1266,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		deadline:   deadline,
 		seq:        seq,
 	}
+	job.queuedAt = job.created
 	for i := range job.cellOnline {
 		job.cellOnline[i] = stats.NewOnline()
 		job.cellPhases[i] = CellQueued
@@ -1236,6 +1342,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 	case "results":
 		s.streamSweepResults(w, r, job)
+	case "events":
+		s.streamEvents(w, r, job)
 	case "table":
 		job.mu.Lock()
 		st := job.sweepStatusLocked(true)

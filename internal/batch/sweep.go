@@ -11,6 +11,7 @@ import (
 
 	"github.com/repro/cobra/internal/engine"
 	"github.com/repro/cobra/internal/graphspec"
+	"github.com/repro/cobra/internal/obs"
 	"github.com/repro/cobra/internal/stats"
 )
 
@@ -268,6 +269,13 @@ type Sweep struct {
 	// (queued → running at admission → done at commit). It may be invoked
 	// concurrently for different cells; calls for one cell are ordered.
 	OnCellPhase func(cell int, phase CellPhase)
+
+	// Observe-only cell-scheduler instruments, set by the cobrad server
+	// before Run (nil for library use = no-op). They never influence the
+	// schedule or the delivered stream.
+	stalls   *obs.Counter
+	reorder  *obs.Gauge
+	cellWall *obs.Histogram
 }
 
 // CompileSweep validates spec and prepares its cell grid. Cell campaigns
@@ -367,7 +375,10 @@ func (sw *Sweep) RunFrom(ctx context.Context, from int, prefix []*stats.Online, 
 		wrap: func(cell int, err error) error {
 			return fmt.Errorf("cell %d (%s): %w", cell, cellName(sw.cellSpecs[cell]), err)
 		},
-		onPhase: sw.OnCellPhase,
+		onPhase:  sw.OnCellPhase,
+		stalls:   sw.stalls,
+		reorder:  sw.reorder,
+		cellWall: sw.cellWall,
 	}
 	aggs, err := sched.execute(ctx, onResult)
 	if err != nil {

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint reads a Prometheus text exposition (version 0.0.4) and returns an
+// error describing the first violation found, or nil if the input is
+// well-formed. It checks the subset of the format cobrad emits — enough
+// for the CI metrics smoke to catch a malformed exposition before a real
+// scraper would:
+//
+//   - every sample is preceded by # HELP and # TYPE lines for its family,
+//     in that order, each appearing exactly once per family;
+//   - metric and label names are valid ([a-zA-Z_:][a-zA-Z0-9_:]*, labels
+//     without ':'), label values are correctly quoted;
+//   - sample values parse as Go floats (or +Inf/-Inf/NaN);
+//   - TYPE is one of counter|gauge|histogram|summary|untyped;
+//   - histogram families have _bucket series with an "le" label,
+//     cumulative bucket counts ending in an le="+Inf" bucket whose count
+//     equals the family's _count sample, plus _sum and _count;
+//   - no duplicate sample (same name + label set).
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type famState struct {
+		typ      string
+		seenHelp bool
+		seenType bool
+		histSeen map[string]*histCheck // label-set (minus le) -> check
+	}
+	fams := make(map[string]*famState)
+	seen := make(map[string]bool) // full sample identity
+	var order []string            // family order for final histogram checks
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are allowed by the format.
+				continue
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s", line, name, fields[1])
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famState{histSeen: make(map[string]*histCheck)}
+				fams[name] = f
+				order = append(order, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.seenHelp {
+					return fmt.Errorf("line %d: duplicate HELP for %q", line, name)
+				}
+				f.seenHelp = true
+			case "TYPE":
+				if f.seenType {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				if !f.seenHelp {
+					return fmt.Errorf("line %d: TYPE for %q before HELP", line, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE for %q missing type", line, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %q", line, fields[3], name)
+				}
+				f.seenType = true
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.typ == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f := fams[base]
+		if f == nil || !f.seenType {
+			return fmt.Errorf("line %d: sample %q without preceding HELP/TYPE", line, name)
+		}
+
+		id := name + "{" + canonLabels(labels) + "}"
+		if seen[id] {
+			return fmt.Errorf("line %d: duplicate sample %s", line, id)
+		}
+		seen[id] = true
+
+		if f.typ == "histogram" {
+			key := canonLabelsExcept(labels, "le")
+			hc := f.histSeen[key]
+			if hc == nil {
+				hc = &histCheck{}
+				f.histSeen[key] = hc
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %q missing le label", line, name)
+				}
+				if hc.sawInf {
+					return fmt.Errorf("line %d: %q bucket after le=\"+Inf\"", line, name)
+				}
+				if value < hc.prevCum {
+					return fmt.Errorf("line %d: %q bucket counts not cumulative (%v < %v)", line, name, value, hc.prevCum)
+				}
+				hc.prevCum = value
+				if le == "+Inf" {
+					hc.sawInf = true
+					hc.infCount = value
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le value %q", line, le)
+				}
+			case strings.HasSuffix(name, "_count"):
+				hc.sawCount = true
+				hc.count = value
+			case strings.HasSuffix(name, "_sum"):
+				hc.sawSum = true
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %q", line, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if !f.seenType {
+			return fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for key, hc := range f.histSeen {
+			where := name
+			if key != "" {
+				where = name + "{" + key + "}"
+			}
+			if !hc.sawInf {
+				return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", where)
+			}
+			if !hc.sawSum || !hc.sawCount {
+				return fmt.Errorf("histogram %s missing _sum or _count", where)
+			}
+			if hc.infCount != hc.count {
+				return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", where, hc.infCount, hc.count)
+			}
+		}
+	}
+	return nil
+}
+
+type histCheck struct {
+	prevCum  float64
+	sawInf   bool
+	infCount float64
+	sawSum   bool
+	sawCount bool
+	count    float64
+}
+
+// parseSample parses `name{labels} value` or `name value`.
+func parseSample(s string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	name = s[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	if i < len(s) && s[i] == '{' {
+		i++ // past '{'
+		for {
+			for i < len(s) && s[i] == ',' {
+				i++
+			}
+			if i < len(s) && s[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(s) && s[j] != '=' {
+				j++
+			}
+			if j >= len(s) {
+				return "", nil, 0, fmt.Errorf("unterminated label in %q", s)
+			}
+			lname := s[i:j]
+			if !validLabel(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			j++ // past '='
+			if j >= len(s) || s[j] != '"' {
+				return "", nil, 0, fmt.Errorf("label %q value not quoted", lname)
+			}
+			j++
+			var val strings.Builder
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+					if j >= len(s) {
+						return "", nil, 0, fmt.Errorf("bad escape in label %q", lname)
+					}
+					switch s[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in label %q", s[j], lname)
+					}
+				} else {
+					val.WriteByte(s[j])
+				}
+				j++
+			}
+			if j >= len(s) {
+				return "", nil, 0, fmt.Errorf("unterminated label value for %q", lname)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", lname)
+			}
+			labels[lname] = val.String()
+			i = j + 1 // past closing '"'
+		}
+	}
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("sample %q missing value", name)
+	}
+	// A timestamp may follow the value; cobrad never emits one but the
+	// format allows it.
+	valStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valStr = rest[:sp]
+	}
+	value, err = parseValue(valStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value %q", name, valStr)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil // value unused for NaN; presence is what we check
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func canonLabels(labels map[string]string) string {
+	return canonLabelsExcept(labels, "")
+}
+
+func canonLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == skip {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + `="` + labels[k] + `"`
+	}
+	return strings.Join(parts, ",")
+}

@@ -54,6 +54,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"github.com/repro/cobra/internal/obs"
 )
 
 const (
@@ -117,8 +119,28 @@ type Terminal struct {
 // use on distinct job ids; a single job's journal has one writer (the
 // campaign worker running it).
 type Store struct {
-	dir string
+	dir     string
+	metrics Metrics
 }
+
+// Metrics is the store's observe-only instrument set. Every field is
+// optional (the obs instruments are nil-receiver safe), so a Store works
+// identically with none, some, or all of them attached — instrumentation
+// never changes what reaches disk or when.
+type Metrics struct {
+	// Appends counts journal lines appended (headers, results, terminals).
+	Appends *obs.Counter
+	// FsyncSeconds observes the latency of each journal fsync (commit
+	// boundaries, terminal seals, and close-time flushes).
+	FsyncSeconds *obs.Histogram
+	// Quarantines counts journals renamed aside as unusable.
+	Quarantines *obs.Counter
+}
+
+// SetMetrics attaches instruments to the store. Call it before journals
+// are opened (journals capture the instrument set at open); the cobrad
+// server wires it before recovery so replay I/O is observed too.
+func (s *Store) SetMetrics(m Metrics) { s.metrics = m }
 
 // Open prepares (creating if needed) the journal directory.
 func Open(dir string) (*Store, error) {
@@ -155,8 +177,17 @@ func validID(id string) bool {
 type Journal struct {
 	f        *os.File
 	w        *bufio.Writer
-	err      error // first write error; later operations are no-ops
+	m        Metrics // observe-only; zero value no-ops
+	err      error   // first write error; later operations are no-ops
 	finished bool
+}
+
+// sync fsyncs the journal file, timing the call.
+func (j *Journal) sync() error {
+	start := time.Now()
+	err := j.f.Sync()
+	j.m.FsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // Create starts a new journal for a job: it writes and fsyncs the header
@@ -175,7 +206,7 @@ func (s *Store) Create(h Header) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	j := &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	j := &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10), m: s.metrics}
 	if err := j.Append(line); err == nil {
 		err = j.Commit()
 	}
@@ -207,8 +238,10 @@ func (j *Journal) Append(record []byte) error {
 	}
 	if err := j.w.WriteByte('\n'); err != nil {
 		j.err = fmt.Errorf("store: append: %w", err)
+		return j.err
 	}
-	return j.err
+	j.m.Appends.Inc()
+	return nil
 }
 
 // Commit flushes buffered records and fsyncs the file — a commit
@@ -221,7 +254,7 @@ func (j *Journal) Commit() error {
 		j.err = fmt.Errorf("store: flush: %w", err)
 		return j.err
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.sync(); err != nil {
 		j.err = fmt.Errorf("store: fsync: %w", err)
 	}
 	return j.err
@@ -262,7 +295,7 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	flushErr := j.w.Flush()
-	syncErr := j.f.Sync()
+	syncErr := j.sync()
 	closeErr := j.f.Close()
 	for _, err := range []error{flushErr, syncErr, closeErr} {
 		if err != nil && j.err == nil {
@@ -349,7 +382,7 @@ func (s *Store) reopen(id, op string, keepResults bool) (*Journal, int, error) {
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
-	return &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, count, nil
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 64<<10), m: s.metrics}, count, nil
 }
 
 // Quarantine renames an unusable journal to <id>.ndjson.corrupt: later
@@ -362,6 +395,7 @@ func (s *Store) Quarantine(id string) error {
 	if err := os.Rename(s.path(id), s.path(id)+corruptExt); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.metrics.Quarantines.Inc()
 	return nil
 }
 
