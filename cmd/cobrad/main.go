@@ -78,12 +78,33 @@
 // turns cobrad into a client: it polls a running server's /v1/stats and
 // job listings every -interval and renders a status table to stdout.
 //
+// Fleet mode (-role, see internal/fleet and docs/api.md) shards sweeps
+// across processes with zero change to results:
+//
+//	cobrad -role coordinator -addr :8080 -data /var/lib/cobrad -lease-ttl 10s &
+//	cobrad -role worker -coordinator http://coord:8080 -worker-id w1 &
+//	cobrad -role worker -coordinator http://coord:8080 -worker-id w2 &
+//
+// The coordinator serves the full cobrad API plus the lease protocol
+// (POST /v1/leases/{acquire,renew,complete}, /v1/fleet status); sweep
+// cells are leased to workers instead of computed locally, their result
+// batches merge through the same reorder buffer, and the streams,
+// aggregates, journal, and events are byte-identical to -role
+// standalone (the default). A worker that dies mid-cell simply misses
+// its heartbeat TTL: the lease expires and the cell's remaining trials
+// are re-leased elsewhere, with the already-accepted prefix never
+// recomputed. With -data, leases are journaled (leases.log) and survive
+// coordinator restarts. A worker's first SIGTERM drains it — it
+// finishes and completes its current cell, then exits; a second kills
+// it, which costs only the lease TTL.
+//
 // Campaigns are deterministic in (graph, process config, seed, trial),
 // and every sweep cell is byte-identical to the same spec submitted as a
 // standalone campaign: resubmitting either — here or through the library
 // — reproduces its results bit for bit. See internal/batch for the
-// contract. The -max-trials cap applies to a sweep's total (cells x
-// trials per cell).
+// contract (ARCHITECTURE.md maps the layers; docs/api.md and
+// docs/metrics.md are the wire and metrics references). The -max-trials
+// cap applies to a sweep's total (cells x trials per cell).
 package main
 
 import (
@@ -99,6 +120,7 @@ import (
 	"time"
 
 	"github.com/repro/cobra/internal/batch"
+	"github.com/repro/cobra/internal/fleet"
 	"github.com/repro/cobra/internal/store"
 )
 
@@ -117,6 +139,10 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
 		watch       = flag.Bool("watch", false, "client mode: poll the server at -addr and render a live status table instead of serving")
 		interval    = flag.Duration("interval", 2*time.Second, "with -watch: polling interval")
+		role        = flag.String("role", "standalone", "standalone (compute locally), coordinator (lease sweep cells to a worker fleet), or worker (pull cells from -coordinator)")
+		coordURL    = flag.String("coordinator", "", "with -role worker: the coordinator's base URL")
+		workerID    = flag.String("worker-id", "", "with -role worker: fleet worker id (default host-pid)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "with -role coordinator: lease heartbeat TTL; a worker silent this long loses its cell to re-lease")
 	)
 	flag.Parse()
 
@@ -137,16 +163,27 @@ func main() {
 		return
 	}
 
+	if *role == "worker" {
+		runWorker(logger, *coordURL, *workerID, *cacheSize)
+		return
+	}
+	if *role != "standalone" && *role != "coordinator" {
+		fmt.Fprintf(os.Stderr, "cobrad: bad -role %q: want standalone, coordinator, or worker\n", *role)
+		os.Exit(1)
+	}
+
 	var st batch.Store
+	var ds *store.Store
 	if *dataDir != "" {
-		ds, err := store.Open(*dataDir)
+		var err error
+		ds, err = store.Open(*dataDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cobrad:", err)
 			os.Exit(1)
 		}
 		st = ds
 	}
-	svc, err := batch.NewServerWith(batch.ServerConfig{
+	cfg := batch.ServerConfig{
 		CampaignWorkers: *campaigns,
 		CellWorkers:     *cellWorkers,
 		QueueDepth:      *queue,
@@ -156,14 +193,46 @@ func main() {
 		RetainTTL:       *retainTTL,
 		Preempt:         *preempt,
 		Logger:          logger,
-	}, st)
+	}
+
+	// Coordinator role: build the lease authority first so recovered
+	// sweeps re-offer their cells straight into the restored lease table,
+	// then hand it to the server as the remote cell source. The fleet's
+	// metric families join the server's registry — but the server is
+	// constructed after the coordinator, so register against a fresh
+	// registry-carrying server below via a two-step wiring.
+	var co *fleet.Coordinator
+	if *role == "coordinator" {
+		var err error
+		co, err = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			TTL:    *leaseTTL,
+			Store:  ds,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cobrad: lease table:", err)
+			os.Exit(1)
+		}
+		cfg.Remote = co
+	}
+	svc, err := batch.NewServerWith(cfg, st)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cobrad: recover job store:", err)
 		os.Exit(1)
 	}
+	handler := http.Handler(svc)
+	if co != nil {
+		co.RegisterMetrics(svc.Registry())
+		root := http.NewServeMux()
+		root.Handle("/v1/leases/", co)
+		root.Handle("/v1/fleet", co)
+		root.Handle("/v1/fleet/", co)
+		root.Handle("/", svc)
+		handler = root
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -188,7 +257,15 @@ func main() {
 		// streams — the other order would burn the whole Shutdown timeout
 		// whenever a follower is attached. Submissions racing this get a
 		// 503.
+		// BeginShutdown first: cells withdrawn by svc.Close keep their
+		// journaled leases, so healthy workers reattach after a restart.
+		if co != nil {
+			co.BeginShutdown()
+		}
 		svc.Close()
+		if co != nil {
+			co.Close()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
@@ -196,11 +273,59 @@ func main() {
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
+			if co != nil {
+				co.BeginShutdown()
+			}
 			svc.Close()
+			if co != nil {
+				co.Close()
+			}
 			fmt.Fprintln(os.Stderr, "cobrad:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runWorker runs the fleet worker role: no listener, just the pull
+// loop. The first SIGTERM/SIGINT drains (finish and complete the
+// current cell, stop acquiring, exit 0); a second hard-stops — the
+// abandoned lease expires on the coordinator and the cell's remaining
+// trials are re-leased, byte-identically, elsewhere.
+func runWorker(logger *slog.Logger, coordinator, id string, cacheSize int) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: coordinator,
+		ID:          id,
+		CacheSize:   cacheSize,
+		Logger:      logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cobrad:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		logger.Info("draining: finishing current cell", "worker", id)
+		w.Drain()
+		<-sigCh
+		logger.Warn("hard stop: abandoning current cell", "worker", id)
+		cancel()
+	}()
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cobrad:", err)
+		os.Exit(1)
+	}
+	logger.Info("worker exited", "worker", id, "cells_completed", w.CellsCompleted())
 }
 
 // newLogger builds the process logger for -log-format: line-oriented

@@ -163,6 +163,20 @@
 // and resume byte-identity suites hold with and without observers
 // attached.
 //
+// # Distributed fleets
+//
+// cobrad scales past one process without changing a byte of output:
+// `-role coordinator` turns the server into a lease authority that
+// offers sweep cells to `-role worker` processes over a journal-backed
+// lease protocol (heartbeat TTLs on the coordinator's clock; a dead
+// worker's lease expires and its cell's uncomputed tail is re-leased
+// elsewhere). Workers compute cells through the ordinary campaign
+// machinery and stream results back; the coordinator merges them
+// through the same reorder buffer as a local run, so the NDJSON
+// stream, aggregates, journal, and event streams are byte-for-byte
+// identical to single-process execution for every fleet topology —
+// including mid-cell worker death (internal/fleet).
+//
 // # Quick start
 //
 //	g, err := cobra.RandomRegular(1024, 3, 7)     // 3-regular, seed 7
@@ -172,4 +186,12 @@
 //
 // See examples/ for runnable scenarios and cmd/experiments for the
 // harness that regenerates every experiment table in EXPERIMENTS.md.
+//
+// # Further reading
+//
+// ARCHITECTURE.md maps the repository's layers (engine → batch →
+// store → obs → fleet), states the determinism contract chain, and
+// walks a sweep through every layer in fleet mode. docs/api.md
+// documents every HTTP endpoint including the lease protocol and the
+// SSE event grammar; docs/metrics.md documents every metric family.
 package cobra

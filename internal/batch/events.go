@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"github.com/repro/cobra/internal/stats"
 )
@@ -123,7 +124,34 @@ func meanRounds(folds []*stats.Online) float64 {
 
 // streamEvents serves one follower. It loops snapshot → emit deltas →
 // wait on the job's notify channel, ending with exactly one "end" event.
+//
+// ?cell=N (sweeps only) narrows the stream to one cell: "cell" events
+// for other cells are dropped, while "state" events (whole-job progress)
+// and the single terminal "end" event keep their full-stream semantics —
+// a filtered follower still observes the job's fate exactly once. This
+// is how a fleet operator watches the one cell a worker is leasing
+// without the other cells' phase churn.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	cellFilter := -1
+	if v := r.URL.Query().Get("cell"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "cell must be a non-negative integer")
+			return
+		}
+		job.mu.Lock()
+		isSweep, cells := job.sweep != nil, len(job.cellSpecs)
+		job.mu.Unlock()
+		if !isSweep {
+			httpError(w, http.StatusBadRequest, "cell filtering applies to sweep event streams")
+			return
+		}
+		if n >= cells {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("cell %d outside [0, %d)", n, cells))
+			return
+		}
+		cellFilter = n
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "event stream needs a flushing writer")
@@ -160,6 +188,9 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) 
 		wrote := false
 		for i, ph := range snap.phases {
 			if lastPhases != nil && lastPhases[i] == ph {
+				continue
+			}
+			if cellFilter >= 0 && i != cellFilter {
 				continue
 			}
 			if !emit("cell", eventCell{Cell: i, Phase: ph}) {

@@ -189,6 +189,68 @@ func TestEventsSweepCellPhases(t *testing.T) {
 	}
 }
 
+// A follower with ?cell= sees only that cell's phase events — but the
+// full state stream and exactly one end event, since the filter narrows
+// the cell channel, not the lifecycle.
+func TestEventsCellFilter(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{CellWorkers: 2})
+	spec := testSweepSpec()
+	id := postSweep(t, ts, spec)
+
+	events := readSSE(t, ts, "/v1/sweeps/"+id+"/events?cell=1")
+	last := checkEnd(t, events, StreamComplete)
+	if last.State != StateDone {
+		t.Fatalf("final state %q, want done", last.State)
+	}
+	var lastPhase CellPhase
+	sawCell := false
+	for _, ev := range events {
+		if ev.name != "cell" {
+			continue
+		}
+		var c eventCell
+		if err := json.Unmarshal([]byte(ev.data), &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Cell != 1 {
+			t.Fatalf("cell event for cell %d leaked through ?cell=1", c.Cell)
+		}
+		sawCell = true
+		lastPhase = c.Phase
+	}
+	if !sawCell {
+		t.Fatal("no cell events for the filtered cell")
+	}
+	if lastPhase != CellDone {
+		t.Fatalf("filtered cell's last phase %q, want done", lastPhase)
+	}
+}
+
+// ?cell= rejects garbage, campaigns, and out-of-range indexes.
+func TestEventsCellFilterRejects(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{CellWorkers: 2})
+	sweepID := postSweep(t, ts, testSweepSpec())
+	awaitSweepState(t, ts, sweepID, StateDone)
+	campID := postCampaign(t, ts, testSpec())
+	awaitState(t, ts, campID, StateDone)
+
+	for _, tc := range []struct{ path, why string }{
+		{"/v1/sweeps/" + sweepID + "/events?cell=abc", "non-integer"},
+		{"/v1/sweeps/" + sweepID + "/events?cell=-1", "negative"},
+		{"/v1/sweeps/" + sweepID + "/events?cell=9999", "out of range"},
+		{"/v1/campaigns/" + campID + "/events?cell=0", "campaign has no cells"},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s (%s): status %d, want 400", tc.path, tc.why, resp.StatusCode)
+		}
+	}
+}
+
 func TestEventsUnknownJob(t *testing.T) {
 	_, ts := newTestServer(t, ServerConfig{})
 	resp, err := http.Get(ts.URL + "/v1/campaigns/c999999/events")

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/repro/cobra/internal/obs"
 	"github.com/repro/cobra/internal/stats"
 	"github.com/repro/cobra/internal/store"
 )
@@ -173,6 +174,23 @@ type ServerConfig struct {
 	// job id and context fields. nil uses slog.Default(), which cmd/cobrad
 	// configures from -log-format.
 	Logger *slog.Logger
+	// Remote, when non-nil, turns the server into a fleet coordinator
+	// for sweeps: admitted cells are handed to Remote.RunCell instead of
+	// being compiled and computed locally, and the remotely computed
+	// trials flow through the exact same reorder buffer, journal sink,
+	// aggregates, and streams — byte-identical to local execution by the
+	// campaign determinism contract. Campaign (non-sweep) jobs still run
+	// locally. See internal/fleet for the coordinator implementation.
+	Remote CellRunner
+}
+
+// CellRunner executes one admitted sweep cell outside this process. The
+// cell's trials [from, spec.Trials) must be delivered in trial order;
+// RunCell returns nil only once the cell is complete, an error when it
+// failed or was abandoned, and promptly when ctx is cancelled. deliver
+// must be called from one goroutine at a time.
+type CellRunner interface {
+	RunCell(ctx context.Context, jobID string, cell int, spec Spec, from int, deliver func(TrialResult)) error
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -476,6 +494,11 @@ func (s *Server) TrialsExecuted() int64 { return s.met.trials.Value() }
 
 // Preemptions reports how many checkpoint-and-requeue events occurred.
 func (s *Server) Preemptions() int64 { return s.met.preempts.Value() }
+
+// Registry exposes the server's metric registry so sibling subsystems
+// (the fleet coordinator) can register their families into the same
+// /metrics exposition and /v1/stats gather cycle.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
 // log returns the server's structured logger (ServerConfig.Logger or the
 // process default).
@@ -842,6 +865,13 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 		job.bumpLocked()
 		job.mu.Unlock()
 	}
+	remote := s.cfg.Remote != nil
+	if remote {
+		jobID := job.id
+		sweep.Remote = func(ctx context.Context, cell int, spec Spec, from int, deliver func(TrialResult)) error {
+			return s.cfg.Remote.RunCell(ctx, jobID, cell, spec, from, deliver)
+		}
+	}
 	job.mu.Lock()
 	from := job.completed
 	prefix := make([]*stats.Online, len(job.cellOnline))
@@ -861,9 +891,14 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 			lastCell = r.Cell
 		}
 		job.sink.record(r)
-		s.met.trials.Inc()
-		s.met.roundsDense.Add(int64(r.DenseRounds))
-		s.met.roundsSparse.Add(int64(r.SparseRounds))
+		if !remote {
+			// Coordinator mode: these trials were computed by fleet
+			// workers, not this process — the fleet counters receive
+			// them; trials_executed keeps its "computed here" meaning.
+			s.met.trials.Inc()
+			s.met.roundsDense.Add(int64(r.DenseRounds))
+			s.met.roundsSparse.Add(int64(r.SparseRounds))
+		}
 		job.mu.Lock()
 		job.cellResults = append(job.cellResults, r)
 		job.completed++

@@ -270,6 +270,19 @@ type Sweep struct {
 	// concurrently for different cells; calls for one cell are ordered.
 	OnCellPhase func(cell int, phase CellPhase)
 
+	// Remote, when set before Run, executes cells somewhere other than
+	// this process: instead of compiling and running cell campaigns
+	// locally, the scheduler calls Remote(ctx, cell, spec, from, deliver)
+	// for each admitted cell and expects the cell's trials [from, Trials)
+	// delivered in trial order. The sweep still folds each delivered
+	// result into its own per-cell aggregate in the exact order the local
+	// path would (deliver, then fold), so summaries — and, through the
+	// reorder buffer, the merged result stream — are bit-identical to a
+	// local run. Remote must not return until the cell is complete (nil)
+	// or abandoned (error / ctx cancelled). This is the seam the fleet
+	// coordinator plugs into (see internal/fleet).
+	Remote func(ctx context.Context, cell int, spec Spec, from int, deliver func(TrialResult)) error
+
 	// Observe-only cell-scheduler instruments, set by the cobrad server
 	// before Run (nil for library use = no-op). They never influence the
 	// schedule or the delivered stream.
@@ -379,6 +392,34 @@ func (sw *Sweep) RunFrom(ctx context.Context, from int, prefix []*stats.Online, 
 		stalls:   sw.stalls,
 		reorder:  sw.reorder,
 		cellWall: sw.cellWall,
+	}
+	if sw.Remote != nil {
+		// Remote cells need no local graph: admission just claims the
+		// reorder-buffer slot, and the run folds the remotely computed
+		// trials into a locally held aggregate in delivery order — the
+		// same deliver-then-fold sequence Campaign.RunFrom performs, so
+		// the Aggregate is bit-identical to local execution.
+		sched.admit = func(int) error { return nil }
+		sched.run = func(ctx context.Context, cell int, deliver func(TrialResult)) (*Aggregate, error) {
+			online := stats.NewOnline()
+			start := 0
+			if cell == fromCell && fromTrial > 0 {
+				online = prefix[cell].Clone()
+				start = fromTrial
+			}
+			err := sw.Remote(ctx, cell, sw.cellSpecs[cell], start, func(r TrialResult) {
+				deliver(r)
+				online.Add(float64(r.Rounds))
+			})
+			if err != nil {
+				return nil, err
+			}
+			summary, err := online.Summary()
+			if err != nil {
+				return nil, err
+			}
+			return &Aggregate{Completed: online.N(), Rounds: summary}, nil
+		}
 	}
 	aggs, err := sched.execute(ctx, onResult)
 	if err != nil {
