@@ -181,12 +181,14 @@ func engineBenchGraph(b *testing.B, name string) *graph.Graph {
 }
 
 var engineBenchModes = []struct {
-	name string
-	mode engine.Mode
+	name      string
+	mode      engine.Mode
+	tileWords int
 }{
-	{"sparse", engine.ForceSparse},
-	{"dense", engine.ForceDense},
-	{"adaptive", engine.Adaptive},
+	{"sparse", engine.ForceSparse, 0},
+	{"dense", engine.ForceDense, 0}, // tiled, the default dense path
+	{"dense-untiled", engine.ForceDense, -1},
+	{"adaptive", engine.Adaptive, 0},
 }
 
 // BenchmarkEngineCobraWide measures one fully-active COBRA round — the
@@ -200,7 +202,7 @@ func BenchmarkEngineCobraWide(b *testing.B) {
 		}
 		for _, m := range engineBenchModes {
 			b.Run(gname+"/"+m.name, func(b *testing.B) {
-				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, all, 1)
+				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, TileWords: m.tileWords, Workers: 1}, all, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -221,7 +223,7 @@ func BenchmarkEngineCobraNarrow(b *testing.B) {
 	g := engineBenchGraph(b, "expander")
 	for _, m := range engineBenchModes {
 		b.Run("expander/"+m.name, func(b *testing.B) {
-			k, err := engine.NewCobra(g, engine.Params{Branch: 1, Mode: m.mode, Workers: 1}, []int{0}, 1)
+			k, err := engine.NewCobra(g, engine.Params{Branch: 1, Mode: m.mode, TileWords: m.tileWords, Workers: 1}, []int{0}, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -247,7 +249,7 @@ func BenchmarkEngineBipsWide(b *testing.B) {
 		}
 		for _, m := range engineBenchModes {
 			b.Run(gname+"/"+m.name, func(b *testing.B) {
-				k, err := engine.NewBips(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, 0, 1)
+				k, err := engine.NewBips(g, engine.Params{Branch: 2, Mode: m.mode, TileWords: m.tileWords, Workers: 1}, 0, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -262,6 +264,50 @@ func BenchmarkEngineBipsWide(b *testing.B) {
 	}
 }
 
+var (
+	engineScalingOnce  sync.Once
+	engineScalingGraph *graph.Graph
+)
+
+// BenchmarkEngineTiledScaling measures one wide COBRA round on a
+// 2·10^7-vertex circulant across worker counts — the tiled kernel's
+// scaling story (ROADMAP item 3). The kernel is workspace-backed, so the
+// measured rounds must also be allocation-free; the "wmax" sub-benchmark
+// pins GOMAXPROCS for cross-host comparison. The w8-vs-w1 ratio is gated
+// in CI against the BENCH artifact.
+func BenchmarkEngineTiledScaling(b *testing.B) {
+	engineScalingOnce.Do(func() {
+		engineScalingGraph = graph.Chord(20_000_000, 4)
+	})
+	g := engineScalingGraph
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8}, {"wmax", 0},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			ws := engine.NewWorkspace()
+			k, err := engine.NewCobraWith(ws, g,
+				engine.Params{Branch: 2, Mode: engine.ForceDense, Workers: c.workers}, all, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k.Step() // warm up: spawn the pool, settle the frontier
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkEngineCoverAdaptive runs a full COBRA cover on a 10^5-vertex
 // expander in each mode: end to end, the adaptive engine should match or
 // beat both forced modes because a cover passes through both regimes.
@@ -271,7 +317,7 @@ func BenchmarkEngineCoverAdaptive(b *testing.B) {
 		b.Run("expander/"+m.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, Workers: 1}, []int{0}, uint64(i))
+				k, err := engine.NewCobra(g, engine.Params{Branch: 2, Mode: m.mode, TileWords: m.tileWords, Workers: 1}, []int{0}, uint64(i))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -61,15 +61,36 @@
 // BFS idea applied to branching walks. A sparse round iterates an
 // active-vertex slice and touches O(|frontier|·b) memory (COBRA),
 // respectively O(vol(A_t)) (BIPS); a dense round scans the frontier
-// bitset 64 vertices per word with no member slice at all. Measured on
-// 2·10^5-vertex workloads (BenchmarkEngineCobraWide/-Narrow,
-// BenchmarkEngineBipsWide in bench_test.go): fully-active COBRA rounds
-// run 2–3× faster dense than sparse, fully-infected BIPS rounds 2–4×
-// faster dense, while a single-particle round is ~300× faster sparse.
-// The adaptive defaults — dense when |C_t| > n/8 for COBRA, when
-// vol(A_t) > n for BIPS — sit well inside those crossovers and are not a
-// public knob; the forced modes (internal/engine Params.Mode) exist for
-// the repository's own benchmarks and equivalence tests.
+// bitset 64 vertices per word with no member slice at all.
+//
+// Dense rounds are tiled: the bitset is sharded into cache-sized word
+// tiles (engine.DefaultTileWords, sized to keep a tile's frontier, next
+// and covered words plus its CSR offsets L2-resident) that a pool of
+// persistent worker goroutines pulls off an atomic cursor. Each tile
+// pass fuses its bookkeeping — next-frontier popcount, frontier volume,
+// newly-covered count — into the word scan, and the per-tile partials
+// fold serially in ascending tile order, so the trajectory and every
+// statistic remain a pure function of the seed regardless of tiling or
+// worker count (the crossengine suites pin tiled, untiled and
+// single-word-tile variants byte-for-byte). COBRA pushes that stay
+// inside the scanned tile use plain stores (the scanner owns the tile's
+// words until the round barrier); only cross-tile pushes pay for the
+// shared atomic set, so rounds on locally-connected graphs are almost
+// entirely lock-free. Steady-state wide rounds are allocation-free under
+// workspace reuse at 2·10^7 vertices (BenchmarkEngineTiledScaling).
+//
+// Measured on 2·10^5-vertex workloads on the tiled kernel
+// (BenchmarkEngineCobraWide/-Narrow, BenchmarkEngineBipsWide in
+// bench_test.go): fully-active COBRA rounds run 2–3× faster dense than
+// sparse, fully-infected BIPS rounds 2–4× faster dense, while a
+// single-particle round is ~80× faster sparse. The adaptive defaults —
+// dense when |C_t| > n/64 for COBRA (engine.DefaultDenseDiv,
+// re-measured on the tiled kernel: breakeven sits near n/96–n/128, see
+// BenchmarkEngineCrossover), when vol(A_t) > n for BIPS (confirmed:
+// sparse and dense cross within a few percent at vol(A_t) ≈ n) — sit
+// inside those crossovers and are not a public knob; the forced modes
+// and tile-width override (internal/engine Params.Mode, Params.TileWords)
+// exist for the repository's own benchmarks and equivalence tests.
 //
 // # Batch campaigns and the cobrad service
 //

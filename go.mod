@@ -1,3 +1,3 @@
 module github.com/repro/cobra
 
-go 1.21
+go 1.23

@@ -197,10 +197,13 @@ type TrialResult struct {
 	// Sent and Coalesced are the COBRA transmission counters (0 for BIPS).
 	Sent      int64 `json:"sent,omitempty"`
 	Coalesced int64 `json:"coalesced,omitempty"`
-	// DenseRounds/SparseRounds report which representation the adaptive
-	// kernel picked, for capacity diagnostics.
+	// DenseRounds/SparseRounds/TiledRounds report which representation the
+	// adaptive kernel picked, for capacity diagnostics. Tiled is the default
+	// dense path; DenseRounds counts only the legacy flat scan
+	// (Params.TileWords = -1).
 	DenseRounds  int `json:"dense_rounds"`
 	SparseRounds int `json:"sparse_rounds"`
+	TiledRounds  int `json:"tiled_rounds"`
 }
 
 // Aggregate is the online summary of a campaign's per-trial round counts.
@@ -403,5 +406,6 @@ func (c *Campaign) runTrial(ws *engine.Workspace, k int, rng *xrand.RNG) (TrialR
 		Coalesced:    kern.Coalesced(),
 		DenseRounds:  kern.DenseRounds(),
 		SparseRounds: kern.SparseRounds(),
+		TiledRounds:  kern.TiledRounds(),
 	}, nil
 }

@@ -23,8 +23,9 @@ type serverMetrics struct {
 
 	// Engine result path.
 	trials       *obs.Counter // trials executed by this process (replay excluded)
-	roundsDense  *obs.Counter // cobrad_rounds_total{repr="dense"}
+	roundsDense  *obs.Counter // cobrad_rounds_total{repr="dense"} (legacy flat scan)
 	roundsSparse *obs.Counter // cobrad_rounds_total{repr="sparse"}
+	roundsTiled  *obs.Counter // cobrad_rounds_total{repr="tiled"} (default dense path)
 
 	// Scheduler.
 	jobs      *obs.CounterVec // terminal transitions by kind and state
@@ -64,6 +65,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Engine rounds executed, by the representation the adaptive kernel chose.", "repr")
 	m.roundsDense = rounds.With("dense")
 	m.roundsSparse = rounds.With("sparse")
+	m.roundsTiled = rounds.With("tiled")
 
 	m.jobs = reg.CounterVec("cobrad_jobs_total",
 		"Terminal job transitions by kind and final state.", "kind", "state")

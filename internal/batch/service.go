@@ -484,6 +484,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"admission_waits":     s.met.admission.Count(),
 		"rounds_dense":        s.met.roundsDense.Value(),
 		"rounds_sparse":       s.met.roundsSparse.Value(),
+		"rounds_tiled":        s.met.roundsTiled.Value(),
 	})
 }
 
@@ -710,6 +711,7 @@ func (s *Server) runJob(job *Job) {
 		s.met.trials.Inc()
 		s.met.roundsDense.Add(int64(r.DenseRounds))
 		s.met.roundsSparse.Add(int64(r.SparseRounds))
+		s.met.roundsTiled.Add(int64(r.TiledRounds))
 		job.mu.Lock()
 		job.results = append(job.results, r)
 		job.completed++
@@ -898,6 +900,7 @@ func (s *Server) runSweepJob(job *Job, runCtx context.Context, cancelRun context
 			s.met.trials.Inc()
 			s.met.roundsDense.Add(int64(r.DenseRounds))
 			s.met.roundsSparse.Add(int64(r.SparseRounds))
+			s.met.roundsTiled.Add(int64(r.TiledRounds))
 		}
 		job.mu.Lock()
 		job.cellResults = append(job.cellResults, r)

@@ -78,6 +78,22 @@ func TestCrossEngineEquivalenceBIPS(t *testing.T) {
 				}
 				engines[name] = kernelFace{k}
 			}
+			// Tiled vs untiled byte-identity: forced-dense above is the
+			// tiled kernel; pin it against the legacy flat scan and a
+			// 1-word tile width.
+			for name, tileWords := range map[string]int{
+				"dense-untiled": -1,
+				"dense-tile-1":  1,
+			} {
+				par := cfg.engineParams(2)
+				par.Mode = engine.ForceDense
+				par.TileWords = tileWords
+				k, err := engine.NewBips(g, par, 0, kseed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines[name] = kernelFace{k}
+			}
 			ref := engines["serial"]
 			const roundCap = 40000
 			for r := 0; r < roundCap && !ref.Complete(); r++ {

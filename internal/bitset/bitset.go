@@ -108,6 +108,17 @@ func (s *Set) Clone() *Set {
 // member slice.
 func (s *Set) Words() []uint64 { return s.words }
 
+// WordCount returns the number of backing words, (n+63)/64.
+func (s *Set) WordCount() int { return len(s.words) }
+
+// Word returns backing word i (items [64i, 64i+64)).
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// SetWord overwrites backing word i wholesale. This is the mutation dual
+// of Words(), used by the tiled dense engine whose tiles own disjoint word
+// ranges; the caller is responsible for keeping tail bits beyond n zero.
+func (s *Set) SetWord(i int, w uint64) { s.words[i] = w }
+
 // UnionCount adds every member of other to s and returns the number of
 // items that were newly added (present in other but not previously in s).
 // Capacities must match. This fuses the covered-set fold of a simulation
@@ -206,19 +217,16 @@ func NewAtomic(n int) *Atomic {
 // Len returns the capacity n.
 func (a *Atomic) Len() int { return a.n }
 
-// Set marks item i as present. Safe for concurrent callers.
+// Set marks item i as present. Safe for concurrent callers. The
+// already-set fast path is a plain atomic load; setting is one locked OR,
+// cheaper under contention than a CAS loop.
 func (a *Atomic) Set(i int) {
 	addr := &a.words[i/wordBits]
 	mask := uint64(1) << (uint(i) % wordBits)
-	for {
-		old := atomic.LoadUint64(addr)
-		if old&mask != 0 {
-			return
-		}
-		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
-			return
-		}
+	if atomic.LoadUint64(addr)&mask != 0 {
+		return
 	}
+	atomic.OrUint64(addr, mask)
 }
 
 // Contains reports whether item i is present. Uses an atomic load, so it is
@@ -242,6 +250,21 @@ func (a *Atomic) Reset() {
 		atomic.StoreUint64(&a.words[i], 0)
 	}
 }
+
+// Word returns backing word i with an atomic load; the value is exact only
+// after writers are quiesced.
+func (a *Atomic) Word(i int) uint64 {
+	return atomic.LoadUint64(&a.words[i])
+}
+
+// ClearWord zeroes backing word i. Call only while no writers are active on
+// that word.
+func (a *Atomic) ClearWord(i int) {
+	atomic.StoreUint64(&a.words[i], 0)
+}
+
+// WordCount returns the number of backing words, (n+63)/64.
+func (a *Atomic) WordCount() int { return len(a.words) }
 
 // Snapshot copies the atomic set into a plain Set of the same capacity.
 // Call only after writers are quiesced.

@@ -62,6 +62,26 @@ func crossEngines(t *testing.T, g *graph.Graph, cfg Config, start []int, masterS
 		}
 		engines[name] = kernelFace{k}
 	}
+	// Tiled vs untiled byte-identity: the default forced-dense engine above
+	// runs the tiled kernel; pin it against the legacy flat scan
+	// (TileWords -1) and a pathological 1-word tile width.
+	for name, tileWords := range map[string]int{
+		"dense-untiled":   -1,
+		"dense-tile-1":    1,
+		"adaptive-tile-1": 1,
+	} {
+		par := cfg.engineParams(2)
+		par.Mode = engine.ForceDense
+		if name == "adaptive-tile-1" {
+			par.Mode = engine.Adaptive
+		}
+		par.TileWords = tileWords
+		k, err := engine.NewCobra(g, par, start, kseed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[name] = kernelFace{k}
+	}
 	return engines
 }
 

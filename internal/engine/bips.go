@@ -85,6 +85,7 @@ func (k *Kernel) bipsSparse() {
 	k.frontierVol = vol
 	k.curList, k.newList = k.newList, k.curList
 	k.curListOK = true
+	k.volOK = true
 }
 
 // bipsEvalParallel fans candidate decisions across workers into worker-

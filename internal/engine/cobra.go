@@ -84,6 +84,7 @@ func (k *Kernel) cobraSparse() {
 	k.frontierVol = vol
 	k.curList, k.newList = k.newList, k.curList
 	k.curListOK = true
+	k.volOK = true
 }
 
 // cobraSparseParallel fans the active slice across workers; next-frontier
@@ -186,6 +187,7 @@ func (k *Kernel) cobraDense() {
 	k.sent += sent
 	k.coalesced += sent - int64(k.frontierN)
 	k.curListOK = false
+	k.volOK = false
 }
 
 // cobraDenseParallel splits the word array across workers; targets land in

@@ -32,9 +32,13 @@
 // the seed. This keying is byte-compatible with the pre-engine parallel
 // processes, whose trajectories it preserves exactly.
 //
-// The crossover defaults (|C_t| > n/8 for COBRA, vol(A_t) > n for BIPS)
-// come from the bench_test.go micro-benchmarks BenchmarkEngineCobraWide /
-// BenchmarkEngineBipsWide; see doc.go ("Performance notes") for guidance.
+// Dense rounds run tiled by default (tile.go): cache-sized word tiles
+// pulled off an atomic cursor by persistent pool workers, with per-tile
+// frontier/volume counts fused into the scans and folded in tile order.
+//
+// The crossover defaults (|C_t| > n/64 for COBRA, vol(A_t) > n for BIPS)
+// were re-measured on the tiled kernel with BenchmarkEngineCrossover in
+// tile_test.go; see doc.go ("Performance notes") for guidance.
 package engine
 
 import (
@@ -81,8 +85,14 @@ const (
 )
 
 // DefaultDenseDiv is the COBRA crossover divisor: a round goes dense when
-// |frontier| > n/DefaultDenseDiv.
-const DefaultDenseDiv = 8
+// |frontier| > n/DefaultDenseDiv. Re-measured on the tiled kernel
+// (BenchmarkEngineCrossover in tile_test.go, 8-regular 2^18-vertex
+// circulant): both representations pay the same |C_t|·b draw cost, but the
+// tiled scan-and-fold costs less per member than the sparse stamp/dedup
+// traffic, so dense wins everywhere above ≈ n/128 and ties near n/96; 64
+// keeps a safety margin on the sparse side of that tie. (The PR 1 flat
+// kernel measured 8 here; the tiled fold moved the crossover.)
+const DefaultDenseDiv = 64
 
 // DefaultMaxRounds is the shared default cap on a single run over an
 // n-vertex graph: 64·n·log2(n)+64 rounds, far above every bound proven in
@@ -117,6 +127,13 @@ type Params struct {
 	// DenseDiv overrides the COBRA sparse→dense crossover (dense when
 	// |frontier|·DenseDiv > n); 0 selects DefaultDenseDiv.
 	DenseDiv int
+	// TileWords overrides the dense tile width in 64-vertex bitset words:
+	// 0 selects DefaultTileWords (sized to L2, see tile.go), a positive
+	// value forces that width, and -1 disables tiling entirely, keeping
+	// dense rounds on the legacy flat scan (the reference path for the
+	// equivalence suites and crossover measurements). Like Workers, the
+	// setting never affects the trajectory, only wall-clock time.
+	TileWords int
 }
 
 // Validate checks the parameters.
@@ -129,6 +146,9 @@ func (p Params) Validate() error {
 	}
 	if p.DenseDiv < 0 {
 		return fmt.Errorf("%w: DenseDiv must be >= 0, got %d", ErrConfig, p.DenseDiv)
+	}
+	if p.TileWords < -1 {
+		return fmt.Errorf("%w: TileWords must be >= -1, got %d", ErrConfig, p.TileWords)
 	}
 	return nil
 }
@@ -146,9 +166,13 @@ type Kernel struct {
 
 	// Frontier state. cur is always authoritative; curList mirrors it
 	// when curListOK (maintained by sparse rounds, rebuilt on demand).
+	// frontierVol is trusted when volOK — tiled dense rounds fuse the
+	// volume into their word scans, so volOK can hold while the member
+	// mirror is stale.
 	cur         *bitset.Set
 	curList     []int32
 	curListOK   bool
+	volOK       bool
 	frontierN   int
 	frontierVol int // Σ deg(v) over the frontier; see FrontierVolume
 
@@ -171,8 +195,20 @@ type Kernel struct {
 	bufs       [][]int32
 	sentParts  []int64
 
+	// Tiled dense state (tile.go). tileCur is the shared tile cursor of
+	// the in-flight pass; tileN/tileVol/tileNew hold the per-tile partial
+	// counts folded serially in tile order after each pass.
+	tileWords int // words per tile; 0 disables tiling (legacy flat scan)
+	tiles     int
+	tileCur   int64
+	tileN     []int32
+	tileVol   []int64
+	tileNew   []int32
+	pool      *roundPool
+
 	denseRounds  int
 	sparseRounds int
+	tiledRounds  int
 }
 
 // NewCobra creates a COBRA kernel with initial frontier C_0 = start.
@@ -205,6 +241,7 @@ func newCobra(g *graph.Graph, par Params, start []int, seed uint64, ws *Workspac
 	}
 	k.frontierN = len(k.curList)
 	k.curListOK = true
+	k.volOK = true
 	return k, nil
 }
 
@@ -228,6 +265,7 @@ func newBips(g *graph.Graph, par Params, source int, seed uint64, ws *Workspace)
 	k.frontierN = 1
 	k.frontierVol = g.Degree(source)
 	k.curListOK = true
+	k.volOK = true
 	return k, nil
 }
 
@@ -278,6 +316,23 @@ func newKernel(g *graph.Graph, kind Kind, par Params, seed uint64, ws *Workspace
 	k.seed = seed
 	k.workers = workers
 	k.denseDiv = denseDiv
+	if tw := par.TileWords; tw >= 0 && par.Mode != ForceSparse {
+		if tw == 0 {
+			tw = DefaultTileWords
+		}
+		k.tileWords = tw
+		k.tiles = (k.cur.WordCount() + tw - 1) / tw
+		if ws != nil {
+			k.tileN, k.tileVol, k.tileNew = ws.tileScratch(k.tiles)
+		} else {
+			k.tileN = make([]int32, k.tiles)
+			k.tileVol = make([]int64, k.tiles)
+			k.tileNew = make([]int32, k.tiles)
+		}
+		if workers > 1 {
+			k.attachPool(ws)
+		}
+	}
 	return k, nil
 }
 
@@ -299,10 +354,11 @@ func (k *Kernel) Frontier() *bitset.Set { return k.cur }
 func (k *Kernel) FrontierCount() int { return k.frontierN }
 
 // FrontierVolume returns Σ_{v ∈ frontier} deg(v) — d(A_t) in the paper's
-// Section 3 notation. It rebuilds the member mirror if a dense COBRA round
-// left it stale.
+// Section 3 notation. Sparse and tiled dense rounds maintain the volume as
+// they go; it rebuilds the member mirror only if a legacy (untiled) dense
+// round left both stale.
 func (k *Kernel) FrontierVolume() int {
-	if !k.curListOK {
+	if !k.volOK {
 		k.ensureList()
 	}
 	return k.frontierVol
@@ -332,13 +388,18 @@ func (k *Kernel) Sent() int64 { return k.sent }
 // Sent() − Σ_{t>=1} |C_t|.
 func (k *Kernel) Coalesced() int64 { return k.coalesced }
 
-// DenseRounds returns how many completed rounds ran in the dense
-// representation.
+// DenseRounds returns how many completed rounds ran in the legacy flat
+// dense representation (TileWords -1); with tiling enabled (the default)
+// dense rounds are counted by TiledRounds instead.
 func (k *Kernel) DenseRounds() int { return k.denseRounds }
 
 // SparseRounds returns how many completed rounds ran in the sparse
 // representation.
 func (k *Kernel) SparseRounds() int { return k.sparseRounds }
+
+// TiledRounds returns how many completed rounds ran in the tiled dense
+// representation (tile.go), the default dense path.
+func (k *Kernel) TiledRounds() int { return k.tiledRounds }
 
 // InstallFrontier replaces the frontier with the given member set and
 // advances the round counter, as if a Step produced it. This is the hook
@@ -370,30 +431,36 @@ func (k *Kernel) InstallFrontier(members []int) {
 	k.frontierN = len(k.curList)
 	k.frontierVol = vol
 	k.curListOK = true
+	k.volOK = true
 	k.round++
 }
 
 // Step advances the kernel by one round in the representation chosen by
-// the mode policy.
+// the mode policy: sparse, tiled dense (the default dense path), or the
+// legacy flat dense scan when tiling is disabled (TileWords -1).
 func (k *Kernel) Step() {
 	dense := k.useDense()
-	if dense {
-		k.denseRounds++
-	} else {
+	switch {
+	case !dense:
 		k.sparseRounds++
-	}
-	switch k.kind {
-	case Cobra:
-		if dense {
-			k.cobraDense()
-		} else {
+		if k.kind == Cobra {
 			k.cobraSparse()
-		}
-	default:
-		if dense {
-			k.bipsDense()
 		} else {
 			k.bipsSparse()
+		}
+	case k.tileWords > 0:
+		k.tiledRounds++
+		if k.kind == Cobra {
+			k.cobraDenseTiled()
+		} else {
+			k.bipsDenseTiled()
+		}
+	default:
+		k.denseRounds++
+		if k.kind == Cobra {
+			k.cobraDense()
+		} else {
+			k.bipsDense()
 		}
 	}
 	k.round++
@@ -420,12 +487,19 @@ func (k *Kernel) useDense() bool {
 
 // parallelRounds reports how many workers to fan a round of the given
 // item count across; tiny rounds stay serial because goroutine overhead
-// dominates. The answer never affects the trajectory.
+// dominates, and wider rounds get at most one worker per
+// minItemsPerWorker items so the per-worker slice always outweighs the
+// handoff cost (see the measured floor constants in tile.go). The answer
+// never affects the trajectory.
 func (k *Kernel) parallelRounds(items int) int {
-	if k.workers <= 1 || items < 2048 {
+	if k.workers <= 1 || items < minParallelItems {
 		return 1
 	}
-	return k.workers
+	nw := items / minItemsPerWorker
+	if nw > k.workers {
+		nw = k.workers
+	}
+	return nw
 }
 
 // ensureList rebuilds the member mirror (and frontier volume) from the
@@ -439,6 +513,7 @@ func (k *Kernel) ensureList() {
 	})
 	k.frontierVol = vol
 	k.curListOK = true
+	k.volOK = true
 }
 
 // bumpEpoch opens a fresh stamp generation, clearing the array only on

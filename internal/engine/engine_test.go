@@ -17,6 +17,7 @@ func TestParamsValidate(t *testing.T) {
 		{Branch: 1, Rho: -0.5},
 		{Branch: 1, Rho: 1.5},
 		{Branch: 1, DenseDiv: -2},
+		{Branch: 1, TileWords: -2},
 	}
 	for _, p := range bad {
 		if err := p.Validate(); !errors.Is(err, ErrConfig) {
@@ -65,9 +66,14 @@ func TestAdaptiveUsesBothRepresentations(t *testing.T) {
 	if !k.Complete() {
 		t.Fatal("did not cover")
 	}
-	if k.SparseRounds() == 0 || k.DenseRounds() == 0 {
-		t.Fatalf("adaptive run used sparse=%d dense=%d rounds; want both > 0",
-			k.SparseRounds(), k.DenseRounds())
+	if k.SparseRounds() == 0 || k.TiledRounds() == 0 {
+		t.Fatalf("adaptive run used sparse=%d tiled=%d rounds; want both > 0",
+			k.SparseRounds(), k.TiledRounds())
+	}
+	// With tiling enabled (the default) no round may fall back to the
+	// legacy flat dense scan.
+	if k.DenseRounds() != 0 {
+		t.Fatalf("adaptive tiled run used %d legacy dense rounds", k.DenseRounds())
 	}
 }
 

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/repro/cobra/internal/graph"
+	"github.com/repro/cobra/internal/xrand"
+)
+
+// Tiled dense rounds must be byte-identical to the legacy flat scan for
+// every tile width, including the degenerate ones: a single-word tile, a
+// width that does not divide the word count, and a width larger than the
+// whole graph (one tile total). Exercised serial and parallel, both kinds.
+func TestTileWordsEdgeCases(t *testing.T) {
+	ba, err := graph.BarabasiAlbert(777, 3, xrand.New(2)) // 13 words, non-dividing widths
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*graph.Graph{
+		graph.Hypercube(9), // 8 words
+		ba,
+		graph.Complete(50), // n smaller than one 64-vertex word
+	}
+	for _, g := range graphs {
+		for _, tileWords := range []int{1, 3, 4096} {
+			for _, workers := range []int{1, 4} {
+				par := Params{Branch: 2, Mode: ForceDense, Workers: workers}
+
+				par.TileWords = -1
+				ref, err := NewCobra(g, par, []int{0}, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.TileWords = tileWords
+				tiled, err := NewCobra(g, par, []int{0}, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("cobra %s tw=%d w=%d", g.Name(), tileWords, workers)
+				sameTrajectory(t, label, ref, tiled, 1<<20)
+
+				par.TileWords = -1
+				refB, err := NewBips(g, par, 0, 78)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.TileWords = tileWords
+				tiledB, err := NewBips(g, par, 0, 78)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label = fmt.Sprintf("bips %s tw=%d w=%d", g.Name(), tileWords, workers)
+				sameBipsTrajectory(t, label, refB, tiledB, 1<<20)
+			}
+		}
+	}
+}
+
+// bipsTrajectory runs a BIPS kernel for a fixed number of rounds (BIPS
+// need not terminate) and returns the per-round frontier sizes + volumes.
+func bipsTrajectory(k *Kernel, rounds int) (sizes, vols []int) {
+	for r := 0; r < rounds; r++ {
+		k.Step()
+		sizes = append(sizes, k.FrontierCount())
+		vols = append(vols, k.FrontierVolume())
+	}
+	return sizes, vols
+}
+
+func sameBipsTrajectory(t *testing.T, label string, a, b *Kernel, _ int) {
+	t.Helper()
+	const rounds = 120
+	as, av := bipsTrajectory(a, rounds)
+	bs, bv := bipsTrajectory(b, rounds)
+	for i := range as {
+		if as[i] != bs[i] || av[i] != bv[i] {
+			t.Fatalf("%s: round %d differs: |A| %d/%d vol %d/%d",
+				label, i+1, as[i], bs[i], av[i], bv[i])
+		}
+	}
+	if !a.Frontier().Equal(b.Frontier()) {
+		t.Fatalf("%s: final infected sets differ", label)
+	}
+}
+
+// The fused per-tile bookkeeping (frontier count, volume, covered fold)
+// must agree with a from-scratch recount every tiled round, for widths
+// that stress partial tiles.
+func TestTiledBookkeepingInvariants(t *testing.T) {
+	g, err := graph.BarabasiAlbert(300, 3, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tileWords := range []int{1, 2, 4096} {
+		k, err := NewCobra(g, Params{Branch: 2, Mode: ForceDense, Workers: 2, TileWords: tileWords}, []int{0, 5}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 60 && !k.Complete(); r++ {
+			k.Step()
+			if got, want := k.FrontierCount(), k.Frontier().Count(); got != want {
+				t.Fatalf("tw=%d round %d: FrontierCount %d != popcount %d", tileWords, r+1, got, want)
+			}
+			vol := 0
+			k.Frontier().ForEach(func(v int) { vol += g.Degree(v) })
+			if got := k.FrontierVolume(); got != vol {
+				t.Fatalf("tw=%d round %d: FrontierVolume %d != recount %d", tileWords, r+1, got, vol)
+			}
+			if got, want := k.CoveredCount(), k.Covered().Count(); got != want {
+				t.Fatalf("tw=%d round %d: CoveredCount %d != popcount %d", tileWords, r+1, got, want)
+			}
+		}
+	}
+}
+
+// Workspace reuse must stay invisible to tiled trajectories — including
+// when the previous kernel ran the legacy flat path (whose parallel rounds
+// leave the atomic next set dirty) and when graph sizes change under one
+// workspace.
+func TestTiledWorkspaceReuse(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Hypercube(11),
+		graph.Grid(30, 30),
+	}
+	ws := NewWorkspace()
+	for trial := 0; trial < 3; trial++ {
+		for _, g := range graphs {
+			seed := uint64(9000*trial + g.N())
+
+			// A legacy untiled parallel kernel first: its dense rounds leave
+			// nextAtomic non-zero, which the next acquire must clear before
+			// a tiled kernel can rely on the zero-after-fold invariant.
+			dirty, err := NewCobraWith(ws, g, Params{Branch: 2, Mode: ForceDense, Workers: 4, TileWords: -1}, []int{0}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 5; r++ {
+				dirty.Step()
+			}
+
+			fresh, err := NewCobra(g, Params{Branch: 2, Workers: 4}, []int{0}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := NewCobraWith(ws, g, Params{Branch: 2, Workers: 4}, []int{0}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTrajectory(t, "tiled cobra "+g.Name(), fresh, reused, 1<<20)
+
+			freshB, err := NewBips(g, Params{Branch: 2, Workers: 4}, 0, seed^0x7e57)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reusedB, err := NewBipsWith(ws, g, Params{Branch: 2, Workers: 4}, 0, seed^0x7e57)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBipsTrajectory(t, "tiled bips "+g.Name(), freshB, reusedB, 1<<20)
+		}
+	}
+}
+
+// Wide tiled rounds must be allocation-free under workspace reuse, with
+// and without the parallel pool (acceptance criterion of the tiled
+// kernel). The pool's goroutines are spawned before measuring; steady
+// state must not allocate.
+func TestTiledRoundsZeroAlloc(t *testing.T) {
+	g := graph.Hypercube(14) // n = 16384, wide dense rounds
+	for _, workers := range []int{1, 4} {
+		for _, kind := range []Kind{Cobra, Bips} {
+			ws := NewWorkspace()
+			par := Params{Branch: 2, Mode: ForceDense, Workers: workers}
+			var k *Kernel
+			var err error
+			if kind == Cobra {
+				k, err = NewCobraWith(ws, g, par, []int{0}, 5)
+			} else {
+				k, err = NewBipsWith(ws, g, par, 0, 5)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up until the frontier saturates (a b=2 frontier roughly
+			// doubles per round) so the measured rounds are genuinely wide,
+			// and the pool goroutines are spawned.
+			for r := 0; r < 20; r++ {
+				k.Step()
+			}
+			if k.FrontierCount() < g.N()/3 {
+				t.Fatalf("warm-up left frontier at %d of %d", k.FrontierCount(), g.N())
+			}
+			avg := testing.AllocsPerRun(50, func() { k.Step() })
+			if avg != 0 {
+				t.Errorf("kind=%d workers=%d: %v allocs per tiled round, want 0", kind, workers, avg)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineCrossover measures one sparse round against one tiled
+// dense round at controlled frontier fractions; the crossover constants
+// (DefaultDenseDiv, the BIPS volume rule) cite this sweep. The frontier is
+// reinstalled outside the timer every iteration so each measured round
+// sees exactly the fraction under test.
+func BenchmarkEngineCrossover(b *testing.B) {
+	g := graph.Chord(1<<18, 4) // 8-regular circulant
+	n := g.N()
+	members := func(frac int) []int {
+		m := make([]int, 0, n/frac)
+		for i := 0; i < n; i += frac {
+			m = append(m, i)
+		}
+		return m
+	}
+	for _, kind := range []Kind{Cobra, Bips} {
+		kindName := "cobra"
+		if kind == Bips {
+			kindName = "bips"
+		}
+		for _, mode := range []Mode{ForceSparse, ForceDense} {
+			repr := "sparse"
+			if mode == ForceDense {
+				repr = "dense"
+			}
+			for _, frac := range []int{512, 256, 128, 96, 64, 48, 32, 16, 12, 8, 6, 4, 2} {
+				b.Run(fmt.Sprintf("%s/%s/frac=1_%d", kindName, repr, frac), func(b *testing.B) {
+					ws := NewWorkspace()
+					par := Params{Branch: 2, Mode: mode, Workers: 1}
+					var k *Kernel
+					var err error
+					if kind == Cobra {
+						k, err = NewCobraWith(ws, g, par, []int{0}, 5)
+					} else {
+						k, err = NewBipsWith(ws, g, par, 0, 5)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					mem := members(frac)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						k.InstallFrontier(mem)
+						b.StartTimer()
+						k.Step()
+					}
+				})
+			}
+		}
+	}
+}
+
+// The parallel fan-out floor: rounds must never hand a worker less than
+// minItemsPerWorker items, and sub-minParallelItems rounds stay serial.
+func TestParallelRoundsFloor(t *testing.T) {
+	g := graph.Hypercube(9)
+	k, err := NewCobra(g, Params{Branch: 2, Workers: 8}, []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ items, want int }{
+		{0, 1},
+		{minParallelItems - 1, 1},
+		{minParallelItems, minParallelItems / minItemsPerWorker},
+		{4 * minItemsPerWorker, 4},
+		{100 * minItemsPerWorker, 8}, // capped at Workers
+	}
+	for _, c := range cases {
+		if got := k.parallelRounds(c.items); got != c.want {
+			t.Errorf("parallelRounds(%d) = %d, want %d", c.items, got, c.want)
+		}
+	}
+	serial, err := NewCobra(g, Params{Branch: 2, Workers: 1}, []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.parallelRounds(1 << 20); got != 1 {
+		t.Errorf("Workers=1 parallelRounds = %d, want 1", got)
+	}
+}
+
+// BenchmarkEngineParallelFloor pins the narrow-round fan-out cost: a
+// ~4k-item sparse round under a Workers=8 kernel now fans to
+// items/minItemsPerWorker workers instead of all eight, so the per-worker
+// slice stays above the goroutine handoff cost. Compare the serial
+// sub-benchmark to see the remaining overhead.
+func BenchmarkEngineParallelFloor(b *testing.B) {
+	g := graph.Chord(1<<18, 4)
+	members := make([]int, 4096)
+	for i := range members {
+		members[i] = i * (g.N() / len(members))
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			ws := NewWorkspace()
+			k, err := NewCobraWith(ws, g, Params{Branch: 2, Mode: ForceSparse, Workers: workers}, []int{0}, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				k.InstallFrontier(members)
+				b.StartTimer()
+				k.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTileWidth sweeps the tile width on a wide dense round;
+// the DefaultTileWords comment in tile.go cites this sweep.
+func BenchmarkEngineTileWidth(b *testing.B) {
+	g, err := graph.BarabasiAlbert(1<<20, 4, xrand.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tw := range []int{256, 1024, 2048, 4096, 8192, 16384} {
+		b.Run(fmt.Sprintf("tw=%d", tw), func(b *testing.B) {
+			ws := NewWorkspace()
+			k, err := NewCobraWith(ws, g, Params{Branch: 2, Mode: ForceDense, Workers: 1, TileWords: tw}, []int{0}, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < 25; r++ { // saturate the frontier first
+				k.Step()
+			}
+			if k.FrontierCount() < g.N()/3 {
+				b.Fatalf("warm-up left frontier at %d of %d", k.FrontierCount(), g.N())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Step()
+			}
+		})
+	}
+}

@@ -40,6 +40,15 @@ type Workspace struct {
 	candList                []int32
 	bufs                    [][]int32
 	sentParts               []int64
+
+	// Tiled round scratch: per-tile partial counts (tile.go) and the
+	// persistent worker pool shared by every parallel tiled kernel built
+	// through this workspace. The pool's goroutines are released by the
+	// workspace's finalizer.
+	tileN   []int32
+	tileVol []int64
+	tileNew []int32
+	pool    *roundPool
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily by the
@@ -92,6 +101,12 @@ func (ws *Workspace) acquire(n, workers int, kind Kind) *Kernel {
 	} else {
 		ws.cur.Reset()
 		ws.nextPlain.Reset()
+		// The tiled paths rely on the next sets being all-zero at kernel
+		// construction (zero-after-fold invariant); a legacy flat dense
+		// round of the previous kernel can leave the atomic set dirty.
+		if ws.nextAtomic != nil {
+			ws.nextAtomic.Reset()
+		}
 	}
 	if kind == Cobra {
 		if ws.covered == nil {
@@ -137,4 +152,16 @@ func (ws *Workspace) acquire(n, workers int, kind Kind) *Kernel {
 		}
 	}
 	return k
+}
+
+// tileScratch returns per-tile counter scratch of the given length,
+// growing the backing arrays only when a kernel needs more tiles than any
+// predecessor.
+func (ws *Workspace) tileScratch(tiles int) ([]int32, []int64, []int32) {
+	if cap(ws.tileN) < tiles {
+		ws.tileN = make([]int32, tiles)
+		ws.tileVol = make([]int64, tiles)
+		ws.tileNew = make([]int32, tiles)
+	}
+	return ws.tileN[:tiles], ws.tileVol[:tiles], ws.tileNew[:tiles]
 }

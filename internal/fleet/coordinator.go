@@ -44,24 +44,26 @@ func (k cellKey) String() string { return fmt.Sprintf("%s/%d", k.job, k.cell) }
 
 // lease is one live lease. Fields are guarded by the coordinator mutex.
 type lease struct {
-	id      string
-	key     cellKey
-	worker  string
-	from    int // first trial this lease computes (for the log/status)
-	expires time.Time
+	id       string
+	key      cellKey
+	worker   string
+	from     int    // first trial this lease computes (for the log/status)
+	specHash string // canonical hash of the leased cell's spec
+	expires  time.Time
 }
 
 // openCell is a cell the scheduler has admitted and RunCell is blocked
 // on. next is the only progress authority: results below it are
 // duplicates, the result at it is accepted, above it is a gap.
 type openCell struct {
-	key     cellKey
-	spec    batch.Spec
-	next    int
-	trials  int
-	deliver func(batch.TrialResult)
-	done    chan error // buffered(1); receives the cell's fate exactly once
-	lease   *lease     // nil while unleased (acquirable)
+	key      cellKey
+	spec     batch.Spec
+	specHash string // canonical hash of spec, computed once at RunCell
+	next     int
+	trials   int
+	deliver  func(batch.TrialResult)
+	done     chan error // buffered(1); receives the cell's fate exactly once
+	lease    *lease     // nil while unleased (acquirable)
 }
 
 // Coordinator is the fleet's lease authority and the cobrad server's
@@ -119,7 +121,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.log = llog
 		for _, ev := range store.LiveLeases(events, c.now()) {
-			l := &lease{id: ev.Lease, key: cellKey{ev.Job, ev.Cell}, worker: ev.Worker, from: ev.From, expires: ev.Expires}
+			l := &lease{id: ev.Lease, key: cellKey{ev.Job, ev.Cell}, worker: ev.Worker, from: ev.From, specHash: ev.SpecHash, expires: ev.Expires}
 			if _, dup := c.leases[l.id]; dup {
 				continue // corrupted log reused an id; keep the first fold
 			}
@@ -219,12 +221,13 @@ func (c *Coordinator) Close() {
 func (c *Coordinator) RunCell(ctx context.Context, jobID string, cell int, spec batch.Spec, from int, deliver func(batch.TrialResult)) error {
 	key := cellKey{jobID, cell}
 	oc := &openCell{
-		key:     key,
-		spec:    spec,
-		next:    from,
-		trials:  spec.Trials,
-		deliver: deliver,
-		done:    make(chan error, 1),
+		key:      key,
+		spec:     spec,
+		specHash: specHash(spec),
+		next:     from,
+		trials:   spec.Trials,
+		deliver:  deliver,
+		done:     make(chan error, 1),
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -239,9 +242,20 @@ func (c *Coordinator) RunCell(ctx context.Context, jobID string, cell int, spec 
 	c.order = append(c.order, key)
 	if l := c.leaseByKey[key]; l != nil {
 		// A lease restored from the log: its worker kept renewing across
-		// our restart and now reattaches to the re-offered cell.
-		oc.lease = l
-		c.logger.Info("fleet lease reattached", "lease", l.id, "job", jobID, "cell", cell, "worker", l.worker)
+		// our restart and now reattaches to the re-offered cell — but only
+		// if the re-offered spec is the one it was granted. A hash mismatch
+		// means the cell key was reused for different work (a job-id
+		// collision across store generations, or a tampered journal); the
+		// stale lease is retired so its holder's next contact gets 410 and
+		// the cell opens for a fresh grant of the real spec.
+		if l.specHash != "" && l.specHash != oc.specHash {
+			c.logger.Warn("fleet lease rejected on reattach: spec hash mismatch",
+				"lease", l.id, "job", jobID, "cell", cell, "worker", l.worker)
+			c.dropLeaseLocked(l, store.LeaseRelease)
+		} else {
+			oc.lease = l
+			c.logger.Info("fleet lease reattached", "lease", l.id, "job", jobID, "cell", cell, "worker", l.worker)
+		}
 	}
 	c.mu.Unlock()
 
@@ -452,18 +466,19 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	c.nextLease++
 	l := &lease{
-		id:      fmt.Sprintf("l%06d", c.nextLease),
-		key:     grant.key,
-		worker:  req.Worker,
-		from:    grant.next,
-		expires: now.Add(c.ttl),
+		id:       fmt.Sprintf("l%06d", c.nextLease),
+		key:      grant.key,
+		worker:   req.Worker,
+		from:     grant.next,
+		specHash: grant.specHash,
+		expires:  now.Add(c.ttl),
 	}
 	grant.lease = l
 	c.leases[l.id] = l
 	c.leaseByKey[l.key] = l
-	c.appendLog(store.LeaseEvent{Event: store.LeaseGrant, Lease: l.id, Job: l.key.job, Cell: l.key.cell, Worker: l.worker, From: l.from, Expires: l.expires}, true)
+	c.appendLog(store.LeaseEvent{Event: store.LeaseGrant, Lease: l.id, Job: l.key.job, Cell: l.key.cell, Worker: l.worker, From: l.from, SpecHash: l.specHash, Expires: l.expires}, true)
 	c.met.granted(req.Worker)
-	resp := leaseGrant{Lease: l.id, Job: grant.key.job, Cell: grant.key.cell, Spec: grant.spec, From: grant.next, TTLMilli: c.ttl.Milliseconds()}
+	resp := leaseGrant{Lease: l.id, Job: grant.key.job, Cell: grant.key.cell, Spec: grant.spec, From: grant.next, SpecHash: grant.specHash, TTLMilli: c.ttl.Milliseconds()}
 	c.mu.Unlock()
 	c.logger.Info("fleet lease granted", "lease", resp.Lease, "job", resp.Job, "cell", resp.Cell, "worker", req.Worker, "from", resp.From)
 	writeJSON(w, http.StatusOK, resp)
@@ -504,6 +519,18 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request, comple
 		c.dropLeaseLocked(l, store.LeaseRelease)
 		c.mu.Unlock()
 		httpError(w, http.StatusGone, "expired")
+		return
+	}
+	if req.SpecHash != "" && req.SpecHash != oc.specHash {
+		// The holder is computing a different spec than the open cell —
+		// its results must never enter this stream. Retire the lease and
+		// re-open the cell for a grant of the real spec.
+		oc.lease = nil
+		c.dropLeaseLocked(l, store.LeaseRelease)
+		c.mu.Unlock()
+		c.logger.Warn("fleet batch rejected: spec hash mismatch",
+			"lease", req.Lease, "job", oc.key.job, "cell", oc.key.cell, "worker", req.Worker)
+		httpError(w, http.StatusGone, "spec mismatch")
 		return
 	}
 	if completing && req.Error != "" {

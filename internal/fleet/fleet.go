@@ -71,10 +71,31 @@
 package fleet
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"time"
 
 	"github.com/repro/cobra/internal/batch"
 )
+
+// specHash is the canonical fingerprint of a cell's spec: sha256 over
+// its json.Marshal encoding (deterministic for a struct — fixed field
+// order, no maps). A grant carries it, the worker echoes it on every
+// renew/complete, and the coordinator refuses reattaches and batch
+// applies whose hash does not match the open cell's — so a lease
+// restored from the log can never feed results computed from one spec
+// into a same-keyed cell running another (e.g. after a job-id
+// collision across store generations).
+func specHash(spec batch.Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// batch.Spec is plain data; Marshal cannot fail on it.
+		panic("fleet: spec encode: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
 
 // Protocol wire types. Field names are the wire contract documented in
 // docs/api.md; both sides of the protocol live in this package, so the
@@ -95,8 +116,12 @@ type leaseGrant struct {
 	// From is the first trial the lease must compute: the cell's trials
 	// [From, Spec.Trials). Non-zero when a predecessor lease delivered a
 	// partial prefix before dying.
-	From     int   `json:"from"`
-	TTLMilli int64 `json:"ttl_ms"`
+	From int `json:"from"`
+	// SpecHash is the canonical hash of Spec (see specHash). The worker
+	// echoes it on every renew/complete so the coordinator can prove the
+	// results it is accepting were computed from this cell's spec.
+	SpecHash string `json:"spec_hash"`
+	TTLMilli int64  `json:"ttl_ms"`
 }
 
 // batchRequest is the body of renew and complete: a heartbeat carrying
@@ -104,10 +129,14 @@ type leaseGrant struct {
 // worker-side cell failure, failing the cell — and thus the sweep — the
 // way a local compute error would.
 type batchRequest struct {
-	Lease   string              `json:"lease"`
-	Worker  string              `json:"worker"`
-	Results []batch.TrialResult `json:"results,omitempty"`
-	Error   string              `json:"error,omitempty"`
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+	// SpecHash echoes the grant's spec hash. When present it must match
+	// the open cell's hash or the batch is rejected with 410 — empty is
+	// tolerated for wire compatibility with pre-hash workers.
+	SpecHash string              `json:"spec_hash,omitempty"`
+	Results  []batch.TrialResult `json:"results,omitempty"`
+	Error    string              `json:"error,omitempty"`
 }
 
 // batchResponse answers renew (200), complete (200, Done true), and the

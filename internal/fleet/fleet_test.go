@@ -384,11 +384,17 @@ func postJSON(t *testing.T, url string, body any) (int, []byte) {
 // and returns the delivered results plus the cell's settled error.
 func openCellDirect(t *testing.T, co *Coordinator, ctx context.Context, job string, cell, trials int) (func() []batch.TrialResult, chan error) {
 	t.Helper()
+	return openCellSpec(t, co, ctx, job, cell, batch.Spec{Graph: "rreg:64:3", Process: "cobra", Branch: 2, Trials: trials, Seed: 1})
+}
+
+// openCellSpec is openCellDirect with a caller-chosen spec.
+func openCellSpec(t *testing.T, co *Coordinator, ctx context.Context, job string, cell int, spec batch.Spec) (func() []batch.TrialResult, chan error) {
+	t.Helper()
 	var mu sync.Mutex
 	var delivered []batch.TrialResult
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- co.RunCell(ctx, job, cell, batch.Spec{Graph: "rreg:64:3", Process: "cobra", Branch: 2, Trials: trials, Seed: 1}, 0, func(r batch.TrialResult) {
+		errCh <- co.RunCell(ctx, job, cell, spec, 0, func(r batch.TrialResult) {
 			mu.Lock()
 			delivered = append(delivered, r)
 			mu.Unlock()
@@ -644,6 +650,168 @@ func TestCoordinatorRestartKeepsLiveLease(t *testing.T) {
 	json.Unmarshal(raw, &resp)
 	if status != http.StatusOK || !resp.Done {
 		t.Fatalf("reattached complete: %d done=%v", status, resp.Done)
+	}
+	if err := <-errCh2; err != nil {
+		t.Fatalf("RunCell: %v", err)
+	}
+	if got := snapshot(); len(got) != 4 {
+		t.Fatalf("delivered %d results", len(got))
+	}
+}
+
+// TestLeaseSpecHashMismatch: a grant carries the canonical spec hash;
+// a batch echoing a different hash is turned away with 410 and the cell
+// re-opens for a fresh grant, so results computed from the wrong spec
+// can never enter the stream.
+func TestLeaseSpecHashMismatch(t *testing.T) {
+	co, ts := coordServer(t, CoordinatorConfig{TTL: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := batch.Spec{Graph: "rreg:64:3", Process: "cobra", Branch: 2, Trials: 4, Seed: 1}
+	snapshot, errCh := openCellSpec(t, co, ctx, "s000001", 0, spec)
+
+	var grant leaseGrant
+	for {
+		status, raw := postJSON(t, ts.URL+"/v1/leases/acquire", acquireRequest{Worker: "w1"})
+		if status == http.StatusOK {
+			json.Unmarshal(raw, &grant)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if grant.SpecHash != specHash(spec) {
+		t.Fatalf("grant spec hash %q, want %q", grant.SpecHash, specHash(spec))
+	}
+	// A correct echo is accepted.
+	status, raw := postJSON(t, ts.URL+"/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: "w1", SpecHash: grant.SpecHash, Results: []batch.TrialResult{res(0)}})
+	if status != http.StatusOK {
+		t.Fatalf("renew with matching hash: %d %s", status, raw)
+	}
+	// A mismatched echo is 410: the holder computed some other spec.
+	status, raw = postJSON(t, ts.URL+"/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: "w1", SpecHash: "deadbeef", Results: []batch.TrialResult{res(1)}})
+	if status != http.StatusGone {
+		t.Fatalf("renew with wrong hash: %d %s, want 410", status, raw)
+	}
+	// The lease is retired with the rejection, so even a now-correct echo
+	// is refused and the cell is acquirable again at the accepted prefix.
+	status, _ = postJSON(t, ts.URL+"/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: "w1", SpecHash: grant.SpecHash})
+	if status != http.StatusGone {
+		t.Fatalf("retired lease renew: %d, want 410", status)
+	}
+	var grant2 leaseGrant
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, raw = postJSON(t, ts.URL+"/v1/leases/acquire", acquireRequest{Worker: "w2"})
+		if status == http.StatusOK {
+			json.Unmarshal(raw, &grant2)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cell not re-acquirable after hash rejection: %d", status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if grant2.From != 1 {
+		t.Fatalf("successor grant from %d, want 1", grant2.From)
+	}
+	status, _ = postJSON(t, ts.URL+"/v1/leases/complete", batchRequest{Lease: grant2.Lease, Worker: "w2", SpecHash: grant2.SpecHash, Results: []batch.TrialResult{res(1), res(2), res(3)}})
+	if status != http.StatusOK {
+		t.Fatalf("successor complete: %d", status)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("RunCell: %v", err)
+	}
+	if got := snapshot(); len(got) != 4 {
+		t.Fatalf("delivered %d results", len(got))
+	}
+}
+
+// TestLeaseSpecHashReattach: a restored lease only reattaches to a
+// re-offered cell whose spec hashes the same. When the same (job, cell)
+// key comes back carrying different work, the stale holder is rejected
+// with 410 and the cell is granted fresh.
+func TestLeaseSpecHashReattach(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co1, err := NewCoordinator(CoordinatorConfig{TTL: time.Hour, Store: st, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := batch.Spec{Graph: "rreg:64:3", Process: "cobra", Branch: 2, Trials: 4, Seed: 1}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	_, errCh1 := openCellSpec(t, co1, ctx1, "s000001", 0, specA)
+	ts1 := httptest.NewServer(co1)
+
+	var grant leaseGrant
+	for {
+		status, raw := postJSON(t, ts1.URL+"/v1/leases/acquire", acquireRequest{Worker: "w1"})
+		if status == http.StatusOK {
+			json.Unmarshal(raw, &grant)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	co1.BeginShutdown()
+	cancel1()
+	<-errCh1
+	ts1.Close()
+	co1.Close()
+
+	co2, err := NewCoordinator(CoordinatorConfig{TTL: time.Hour, Store: st, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(co2)
+	t.Cleanup(func() {
+		ts2.Close()
+		co2.Close()
+	})
+
+	// The same cell key reappears carrying a different spec (a job-id
+	// collision across store generations). The restored lease must not
+	// inherit it.
+	specB := specA
+	specB.Seed = 999
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	snapshot, errCh2 := openCellSpec(t, co2, ctx2, "s000001", 0, specB)
+
+	// The stale holder is told its lease is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _ := postJSON(t, ts2.URL+"/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: "w1", SpecHash: grant.SpecHash})
+		if status == http.StatusGone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale holder still accepted: %d", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The cell is granted fresh, with specB and its hash.
+	var grant2 leaseGrant
+	for {
+		status, raw := postJSON(t, ts2.URL+"/v1/leases/acquire", acquireRequest{Worker: "w2"})
+		if status == http.StatusOK {
+			json.Unmarshal(raw, &grant2)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cell not re-grantable after reattach rejection: %d", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if grant2.SpecHash != specHash(specB) || grant2.SpecHash == grant.SpecHash {
+		t.Fatalf("successor hash %q, want %q != %q", grant2.SpecHash, specHash(specB), grant.SpecHash)
+	}
+	status, _ := postJSON(t, ts2.URL+"/v1/leases/complete", batchRequest{Lease: grant2.Lease, Worker: "w2", SpecHash: grant2.SpecHash, Results: []batch.TrialResult{res(0), res(1), res(2), res(3)}})
+	if status != http.StatusOK {
+		t.Fatalf("successor complete: %d", status)
 	}
 	if err := <-errCh2; err != nil {
 		t.Fatalf("RunCell: %v", err)

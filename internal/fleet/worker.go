@@ -228,7 +228,7 @@ func (w *Worker) runLease(ctx context.Context, grant leaseGrant, hb time.Duratio
 				pending = pending[:maxBatch]
 			}
 			var resp batchResponse
-			status, err := w.post(ctx, "/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: w.cfg.ID, Results: pending}, &resp)
+			status, err := w.post(ctx, "/v1/leases/renew", batchRequest{Lease: grant.Lease, Worker: w.cfg.ID, SpecHash: grant.SpecHash, Results: pending}, &resp)
 			if err != nil {
 				continue // transient: keep computing, retry next beat
 			}
@@ -261,7 +261,7 @@ const maxBatch = 4096
 // re-offered yet" after a coordinator restart), and giving up on 410 or
 // when retries run out (the lease then just expires).
 func (w *Worker) finish(ctx context.Context, grant leaseGrant, buf []batch.TrialResult, sent int, computeErr error) {
-	req := batchRequest{Lease: grant.Lease, Worker: w.cfg.ID}
+	req := batchRequest{Lease: grant.Lease, Worker: w.cfg.ID, SpecHash: grant.SpecHash}
 	if computeErr != nil {
 		req.Error = computeErr.Error()
 	}

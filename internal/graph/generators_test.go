@@ -199,6 +199,40 @@ func TestDoubleCycleAndChord(t *testing.T) {
 	}
 }
 
+// Chord builds its CSR arrays directly; the output must match the
+// Builder construction byte for byte (the dense engine draws neighbours
+// by index, so adjacency order is trajectory-relevant).
+func TestChordMatchesBuilder(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{7, 1}, {9, 4}, {15, 3}, {64, 2}, {101, 5}} {
+		fast := Chord(tc.n, tc.k)
+		mustValidate(t, fast)
+		b := NewBuilder(tc.n)
+		for v := 0; v < tc.n; v++ {
+			for j := 1; j <= tc.k; j++ {
+				u := (v + j) % tc.n
+				if !b.HasEdge(v, u) {
+					b.AddEdge(v, u)
+				}
+			}
+		}
+		ref := b.MustBuild("ref")
+		if fast.N() != ref.N() || fast.M() != ref.M() {
+			t.Fatalf("chord-%d-%d: shape %d/%d vs %d/%d", tc.n, tc.k, fast.N(), fast.M(), ref.N(), ref.M())
+		}
+		for v := 0; v < tc.n; v++ {
+			fn, rn := fast.Neighbors(v), ref.Neighbors(v)
+			if len(fn) != len(rn) {
+				t.Fatalf("chord-%d-%d: degree of %d differs: %d vs %d", tc.n, tc.k, v, len(fn), len(rn))
+			}
+			for i := range fn {
+				if fn[i] != rn[i] {
+					t.Fatalf("chord-%d-%d: neighbour %d of %d differs: %d vs %d", tc.n, tc.k, i, v, fn[i], rn[i])
+				}
+			}
+		}
+	}
+}
+
 func TestPetersen(t *testing.T) {
 	g := Petersen()
 	mustValidate(t, g)

@@ -52,13 +52,18 @@ const (
 
 // LeaseEvent is one line of the lease log.
 type LeaseEvent struct {
-	Event   string    `json:"event"`
-	Lease   string    `json:"lease"`
-	Job     string    `json:"job,omitempty"`
-	Cell    int       `json:"cell"`
-	Worker  string    `json:"worker,omitempty"`
-	From    int       `json:"from"`
-	Expires time.Time `json:"expires"`
+	Event  string `json:"event"`
+	Lease  string `json:"lease"`
+	Job    string `json:"job,omitempty"`
+	Cell   int    `json:"cell"`
+	Worker string `json:"worker,omitempty"`
+	From   int    `json:"from"`
+	// SpecHash is the canonical hash of the leased cell's spec (grant
+	// events only). On restart the coordinator refuses to reattach a
+	// restored lease to a re-offered cell whose spec hashes differently —
+	// a cell key reused for different work cannot inherit the old holder.
+	SpecHash string    `json:"spec_hash,omitempty"`
+	Expires  time.Time `json:"expires"`
 }
 
 // LeaseLog is an open append handle on the lease table. Appends are
